@@ -1,0 +1,82 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure) with a
+scaled-down configuration so the full suite stays laptop-fast: fewer repeats
+and smaller surrogate sizes than the paper's 20-repeat full-size protocol.
+Pass ``--paper-scale`` to use larger sizes and more repeats (slower, closer
+to the published protocol).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.config import DEFAULT_REAL_WORLD_DATASETS
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="Run benchmarks with larger surrogate sizes and more repeats.",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return bool(request.config.getoption("--paper-scale"))
+
+
+@pytest.fixture(scope="session")
+def bench_config(paper_scale) -> ExperimentConfig:
+    """Configuration used by the dataset-grid benchmarks (Figs. 5, 6, 12, 13, 14)."""
+    if paper_scale:
+        return ExperimentConfig(
+            datasets=DEFAULT_REAL_WORLD_DATASETS,
+            learners=("lr", "xgb"),
+            n_repeats=5,
+            size_factor=None,
+        )
+    return ExperimentConfig(
+        datasets=("meps", "lsac", "credit", "acsp", "acsh", "acse", "acsi"),
+        learners=("lr", "xgb"),
+        n_repeats=1,
+        size_factor=0.015,
+        tuning_grid=(0.0, 1.0, 2.0),
+        lam_grid=(0.0, 0.5, 1.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_bench_config(paper_scale) -> ExperimentConfig:
+    """Configuration for the costlier experiments (Figs. 7 and 14)."""
+    if paper_scale:
+        return ExperimentConfig(
+            datasets=DEFAULT_REAL_WORLD_DATASETS,
+            learners=("lr", "xgb"),
+            n_repeats=3,
+            size_factor=None,
+        )
+    return ExperimentConfig(
+        datasets=("meps", "lsac", "acsi"),
+        learners=("lr", "xgb"),
+        n_repeats=1,
+        size_factor=0.015,
+        tuning_grid=(0.0, 1.0, 2.0),
+        lam_grid=(0.0, 0.5, 1.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic_config(paper_scale) -> ExperimentConfig:
+    """Configuration for the synthetic-drift study (Fig. 11)."""
+    return ExperimentConfig(
+        datasets=("syn1", "syn2", "syn3", "syn4", "syn5"),
+        learners=("lr",),
+        n_repeats=3 if paper_scale else 1,
+        size_factor=0.3 if paper_scale else 0.15,
+        tuning_grid=(0.0, 1.0, 2.0),
+        lam_grid=(0.0, 0.5, 1.0),
+    )

@@ -1,0 +1,54 @@
+"""Benchmark E-F2: regenerate the Fig. 2 capability matrix.
+
+The matrix itself is qualitative; the assertions check that the implemented
+baselines actually *behave* as the matrix claims (e.g. KAM assigns identical
+weights within a group while ConFair does not, CAP modifies the data while
+the reweighing methods do not).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import CapuchinRepair, KamiranReweighing
+from repro.core import ConFair
+from repro.datasets import load_dataset, split_dataset
+from repro.experiments import run_figure02
+
+
+def _check_capability_matrix():
+    figure = run_figure02()
+    rows = {row["method"]: row for row in figure.rows}
+
+    data = load_dataset("lsac", size_factor=0.03, random_state=11)
+    split = split_dataset(data, random_state=11)
+
+    # KAM: identical weights within each (group, label) cell.
+    kam = KamiranReweighing().fit(split.train)
+    for group_value in (0, 1):
+        for label in (0, 1):
+            mask = (split.train.group == group_value) & (split.train.y == label)
+            if mask.any():
+                assert np.allclose(np.unique(kam.weights_[mask]).size, 1)
+    assert rows["KAM"]["intra_group_variability"] is False
+
+    # ConFair: variable weights inside the minority group (conforming tuples boosted).
+    confair = ConFair(alpha_u=1.0).fit(split.train)
+    minority_mask = split.train.group == 1
+    assert np.unique(confair.weights_[minority_mask]).size > 1
+    assert rows["CONFAIR"]["intra_group_variability"] is True
+
+    # CAP: invasive — the repaired dataset's (group, label) cell counts differ
+    # from the original (tuples were duplicated/dropped to break the
+    # group-label dependence).
+    cap = CapuchinRepair().fit(split.train)
+    assert rows["CAP"]["non_invasive_wrt_data"] is False
+    assert cap.repaired_.partition_sizes() != split.train.partition_sizes()
+    return figure
+
+
+def test_fig02_capability_matrix(benchmark):
+    figure = benchmark.pedantic(_check_capability_matrix, rounds=1, iterations=1)
+    assert len(figure.rows) == 6
+    print()
+    print(figure.render())

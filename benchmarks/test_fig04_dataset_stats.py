@@ -1,0 +1,32 @@
+"""Benchmark E-F4: regenerate the Fig. 4 dataset-summary table.
+
+Asserts that every surrogate's measured minority fraction and minority
+positive-label rate track the published statistics it was calibrated to.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.schema import PAPER_DATASET_SPECS
+from repro.experiments import run_figure04
+
+
+def test_fig04_dataset_statistics(benchmark, paper_scale):
+    size_factor = None if paper_scale else 0.05
+    figure = benchmark.pedantic(
+        run_figure04, kwargs={"size_factor": size_factor, "random_state": 11}, rounds=1, iterations=1
+    )
+    assert len(figure.rows) == 7
+
+    for row in figure.rows:
+        spec = PAPER_DATASET_SPECS[row["dataset"]]
+        measured_minority = float(row["measured_minority_population"].rstrip("%")) / 100.0
+        measured_positive = float(row["measured_minority_positive_labels"].rstrip("%")) / 100.0
+        # Calibration tolerance: small samples + null-dropping shift the
+        # measured fractions a little; they must stay close to Fig. 4.
+        assert abs(measured_minority - spec.minority_fraction) < 0.06
+        assert abs(measured_positive - spec.minority_positive_rate) < 0.12
+        assert row["size"] == spec.full_size
+        assert row["numerical"] == spec.n_numeric
+        assert row["categorical"] == spec.n_categorical
+    print()
+    print(figure.render())

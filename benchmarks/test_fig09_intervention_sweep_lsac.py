@@ -1,0 +1,36 @@
+"""Benchmark E-F9: intervention-degree sweep on LSAC (Fig. 9).
+
+Same protocol and shape assertions as the MEPS sweep (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure09
+
+DEGREES = (0.0, 0.5, 1.0, 2.0, 3.0)
+
+
+def _gap_series(figure, method, target):
+    rows = [row for row in figure.rows if row["method"] == method and row["target"] == target]
+    rows.sort(key=lambda row: row["degree"])
+    return [abs(row["minority_value"] - row["majority_value"]) for row in rows]
+
+
+def test_fig09_lsac_sweep(benchmark, paper_scale):
+    size_factor = 0.3 if paper_scale else 0.08
+    figure = benchmark.pedantic(
+        run_figure09,
+        kwargs={"degrees": DEGREES, "size_factor": size_factor, "random_state": 11},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(figure.rows) == len(DEGREES) * 2 * 3
+
+    for target in ("di", "fnr", "fpr"):
+        confair_gaps = _gap_series(figure, "confair", target)
+        assert min(confair_gaps) <= confair_gaps[0] + 1e-9
+        # The sweep also produces the OMN series the paper contrasts against.
+        omn_gaps = _gap_series(figure, "omn", target)
+        assert len(omn_gaps) == len(DEGREES)
+    print()
+    print(figure.render())

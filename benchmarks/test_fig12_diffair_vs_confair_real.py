@@ -1,0 +1,37 @@
+"""Benchmark E-F12: DiffFair vs ConFair on the real-world benchmarks (Fig. 12).
+
+Shape assertion: both interventions improve average fairness over the
+baseline, and neither dominates the other catastrophically (the paper finds
+them comparable, with ConFair the safer overall choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_figure12
+
+
+def _mean_metric(figure, method, learner, metric):
+    rows = figure.filter_rows(method=method, learner=learner)
+    assert rows, f"no rows for {method}/{learner}"
+    return float(np.mean([row[metric] for row in rows]))
+
+
+def test_fig12_diffair_vs_confair(benchmark, bench_config, paper_scale):
+    tolerance = 0.02 if paper_scale else 0.15
+    figure = benchmark.pedantic(run_figure12, args=(bench_config,), rounds=1, iterations=1)
+    expected_rows = len(bench_config.datasets) * len(bench_config.learners) * 4
+    assert len(figure.rows) == expected_rows
+
+    for learner in bench_config.learners:
+        base_di = _mean_metric(figure, "none", learner, "DI*")
+        confair_di = _mean_metric(figure, "confair", learner, "DI*")
+        diffair_di = _mean_metric(figure, "diffair", learner, "DI*")
+        # Both improve (or at least do not hurt) average fairness.
+        assert confair_di > base_di - tolerance
+        assert diffair_di > base_di - max(tolerance, 0.10)
+        # Comparable on real data: neither is worse than the other by a huge margin.
+        assert abs(confair_di - diffair_di) < 0.45
+    print()
+    print(figure.render())

@@ -1,0 +1,36 @@
+"""Benchmark E-F14: run-time comparison of the interventions (Fig. 14).
+
+Shape assertions: KAM is cheaper than ConFair with automatic alpha tuning
+(which retrains the learner per candidate degree), and supplying a fixed
+intervention degree removes most of ConFair's overhead — the two runtime
+observations the paper highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_figure14
+
+
+def _mean_runtime(figure, method, learner):
+    rows = [row for row in figure.rows if row["method"] == method and row["learner"] == learner]
+    assert rows, f"no rows for {method}/{learner}"
+    return float(np.mean([row["runtime_s"] for row in rows]))
+
+
+def test_fig14_runtime(benchmark, small_bench_config):
+    figure = benchmark.pedantic(run_figure14, args=(small_bench_config,), rounds=1, iterations=1)
+    methods = {row["method"] for row in figure.rows}
+    assert {"none", "kam", "cap", "diffair", "omn", "confair", "confair_fixed_alpha"} <= methods
+
+    for learner in small_bench_config.learners:
+        kam_runtime = _mean_runtime(figure, "kam", learner)
+        confair_runtime = _mean_runtime(figure, "confair", learner)
+        confair_fixed_runtime = _mean_runtime(figure, "confair_fixed_alpha", learner)
+        # Tuning-free KAM is the cheapest reweighing method.
+        assert kam_runtime <= confair_runtime
+        # A user-supplied degree removes most of ConFair's tuning cost.
+        assert confair_fixed_runtime <= confair_runtime
+    print()
+    print(figure.render())

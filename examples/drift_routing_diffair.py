@@ -1,0 +1,81 @@
+"""DiffFair under significant cross-group drift (the paper's Fig. 10 scenario).
+
+Scenario: a lender serves two populations whose credit behaviour follows
+*different* patterns (rotated class boundaries and shifted feature ranges).
+A single model — however it is reweighed — cannot conform to both groups.
+The script shows how DiffFair trains one model per group and routes each
+serving applicant to the model whose conformance constraints it violates the
+least, without ever reading the group attribute at serving time.
+
+Run with:  python examples/drift_routing_diffair.py
+"""
+
+import numpy as np
+
+from repro import (
+    ConFair,
+    DiffFair,
+    NoIntervention,
+    evaluate_predictions,
+    make_drifted_groups,
+    split_dataset,
+)
+
+
+def report_line(name, report) -> str:
+    return (
+        f"{name:<14} DI*={report.di_star:.3f}  AOD*={report.aod_star:.3f}  "
+        f"BalAcc={report.balanced_accuracy:.3f}"
+    )
+
+
+def main() -> None:
+    # The Fig. 10 regime: overlapping groups, rotated boundaries, strong drift.
+    data = make_drifted_groups(
+        n_majority=2500,
+        n_minority=900,
+        n_features=6,
+        drift_angle=85.0,
+        class_sep=1.5,
+        group_shift=3.2,
+        name="lending-drift",
+        random_state=7,
+    )
+    split = split_dataset(data, random_state=7)
+
+    baseline = NoIntervention(learner="lr").fit(split.train)
+    base_report = evaluate_predictions(
+        split.deploy.y, baseline.predict(split.deploy.X), split.deploy.group
+    )
+
+    confair = ConFair(learner="lr", tuning_grid=(0.0, 1.0, 2.0, 3.0)).fit(
+        split.train, validation=split.validation
+    )
+    confair_report = evaluate_predictions(
+        split.deploy.y, confair.fit_learner().predict(split.deploy.X), split.deploy.group
+    )
+
+    diffair = DiffFair(learner="lr").fit(split.train, validation=split.validation)
+    diffair_report = evaluate_predictions(
+        split.deploy.y, diffair.predict(split.deploy.X), split.deploy.group
+    )
+
+    print(report_line("baseline", base_report))
+    print(report_line("ConFair", confair_report))
+    print(report_line("DiffFair", diffair_report))
+
+    # Inspect the routing: how often does the conformance-based router agree
+    # with the (hidden) group attribute, and how are tuples distributed?
+    routes = diffair.route(split.deploy.X)
+    agreement = float(np.mean(routes == split.deploy.group))
+    print(f"\nDiffFair routing: {np.mean(routes == 1):.1%} of serving tuples go to the "
+          f"minority-trained model; agreement with the true group attribute = {agreement:.1%}")
+
+    # Show the learned conformance constraints for the minority-positive partition.
+    constraint_set = diffair.profile_.constraint_sets[(1, 1)]
+    print("\nConformance constraints profiling the minority-positive partition:")
+    print(constraint_set.describe(data.feature_names))
+
+
+if __name__ == "__main__":
+    main()

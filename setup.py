@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so that
+``python setup.py develop`` keeps working in environments where the ``wheel``
+package is unavailable and ``pip install -e .`` therefore cannot build an
+editable wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — reproduction of "Non-Invasive Fairness in Learning Through the Lens of Data Drift" (ICDE 2024).
+
+The package implements the paper's two non-invasive fairness interventions —
+:class:`~repro.core.ConFair` (conformance-driven reweighing) and
+:class:`~repro.core.DiffFair` (conformance-routed model splitting) — together
+with every substrate they depend on: a from-scratch ML layer (logistic
+regression, gradient-boosted trees, scalers, encoders), the Conformance
+Constraints profiling primitive, kernel density estimation, fairness metrics,
+benchmark dataset surrogates, the baselines the paper compares against, and
+an experiment harness that regenerates every figure of the evaluation.
+
+Quickstart::
+
+    from repro import load_dataset, split_dataset, ConFair, evaluate_predictions
+
+    data = load_dataset("meps", random_state=7)
+    split = split_dataset(data, random_state=7)
+    confair = ConFair(learner="lr").fit(split.train, validation=split.validation)
+    model = confair.fit_learner()
+    report = evaluate_predictions(split.deploy.y, model.predict(split.deploy.X), split.deploy.group)
+    print(report.di_star, report.balanced_accuracy)
+"""
+
+from repro.baselines import (
+    CapuchinRepair,
+    KamiranReweighing,
+    MultiModel,
+    NoIntervention,
+    OmniFairReweighing,
+)
+from repro.core import ConFair, DiffFair, density_filter, profile_partitions
+from repro.datasets import (
+    Dataset,
+    available_datasets,
+    load_dataset,
+    make_classification,
+    make_drifted_groups,
+    split_dataset,
+)
+from repro.exceptions import (
+    ConstraintError,
+    DatasetError,
+    ExperimentError,
+    NotFittedError,
+    ReproError,
+    ValidationError,
+)
+from repro.fairness import FairnessReport, evaluate_predictions
+from repro.learners import (
+    GradientBoostingClassifier,
+    LogisticRegressionClassifier,
+    make_learner,
+)
+from repro.profiling import ConstraintSet, discover_constraints
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapuchinRepair",
+    "ConFair",
+    "ConstraintError",
+    "ConstraintSet",
+    "Dataset",
+    "DatasetError",
+    "DiffFair",
+    "ExperimentError",
+    "FairnessReport",
+    "GradientBoostingClassifier",
+    "KamiranReweighing",
+    "LogisticRegressionClassifier",
+    "MultiModel",
+    "NoIntervention",
+    "NotFittedError",
+    "OmniFairReweighing",
+    "ReproError",
+    "ValidationError",
+    "__version__",
+    "available_datasets",
+    "density_filter",
+    "discover_constraints",
+    "evaluate_predictions",
+    "load_dataset",
+    "make_classification",
+    "make_drifted_groups",
+    "make_learner",
+    "profile_partitions",
+    "split_dataset",
+]

@@ -1,0 +1,53 @@
+"""The no-intervention baseline: train the learner on the raw training data."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.table import Dataset
+from repro.exceptions import ValidationError
+from repro.learners.base import BaseClassifier, clone
+from repro.learners.registry import make_learner
+
+
+class NoIntervention:
+    """Train a single model on unweighted data (the paper's reference point).
+
+    Parameters
+    ----------
+    learner:
+        Learner name or prototype instance.
+    random_state:
+        Seed passed to learners created from a registry name.
+    """
+
+    def __init__(self, learner="lr", random_state: Optional[int] = 0) -> None:
+        self.learner = learner
+        self.random_state = random_state
+
+    def fit(self, train: Dataset, validation: Optional[Dataset] = None) -> "NoIntervention":
+        """Fit the underlying learner; ``validation`` is accepted for API symmetry."""
+        model = (
+            make_learner(self.learner, random_state=self.random_state)
+            if isinstance(self.learner, str)
+            else clone(self.learner)
+        )
+        model.fit(train.X, train.y)
+        self.model_ = model
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict with the fitted learner."""
+        self._check_fitted()
+        return self.model_.predict(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities from the fitted learner."""
+        self._check_fitted()
+        return self.model_.predict_proba(X)
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "model_"):
+            raise ValidationError("NoIntervention is not fitted yet; call fit() first")

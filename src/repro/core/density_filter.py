@@ -1,0 +1,127 @@
+"""Algorithm 3: density-based filtering for stronger conformance constraints.
+
+Constraints learned from high-variance data are permissive and have little
+discriminative power.  The optimization estimates the density of every tuple
+within its (group, label) partition and keeps only the densest ``k`` tuples
+per partition; constraints derived from the filtered partitions are much
+tighter, which Section IV-C of the paper shows is essential for both
+DiffFair and ConFair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.table import Dataset
+from repro.density.kde import KernelDensity
+from repro.exceptions import ValidationError
+
+
+def _resolve_keep_count(partition_size: int, density_fraction: float, min_keep: int) -> int:
+    """Number of tuples to keep for a partition of ``partition_size`` rows."""
+    keep = int(round(density_fraction * partition_size))
+    keep = max(keep, min(min_keep, partition_size))
+    return min(keep, partition_size)
+
+
+def density_filter_indices(
+    X: np.ndarray,
+    *,
+    density_fraction: float = 0.2,
+    min_keep: int = 10,
+    kernel: str = "gaussian",
+    bandwidth="scott",
+) -> np.ndarray:
+    """Return the indices of the densest rows of ``X`` (Algorithm 3, one partition).
+
+    Parameters
+    ----------
+    X:
+        Numeric attribute matrix of one (group, label) partition.
+    density_fraction:
+        Fraction of rows to keep (the paper uses ``k = 0.2 * n``).
+    min_keep:
+        Keep at least this many rows (bounded by the partition size), so tiny
+        partitions still yield enough tuples to derive constraints from.
+    kernel, bandwidth:
+        Passed to :class:`repro.density.KernelDensity`.
+    """
+    if not 0.0 < density_fraction <= 1.0:
+        raise ValidationError("density_fraction must be in (0, 1]")
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[0] == 0:
+        raise ValidationError("X must be a non-empty 2-D matrix")
+    n_rows = X.shape[0]
+    keep = _resolve_keep_count(n_rows, density_fraction, min_keep)
+    if keep >= n_rows:
+        return np.arange(n_rows)
+
+    estimator = KernelDensity(bandwidth=bandwidth, kernel=kernel).fit(X)
+    log_density = estimator.score_samples(X)
+    order = np.argsort(-log_density, kind="mergesort")
+    return np.sort(order[:keep])
+
+
+def density_filter(
+    dataset: Dataset,
+    *,
+    density_fraction: float = 0.2,
+    min_keep: int = 10,
+    kernel: str = "gaussian",
+    bandwidth="scott",
+) -> Dataset:
+    """Apply Algorithm 3 to a dataset: keep the densest tuples of each partition.
+
+    Each of the four (group, label) partitions is filtered independently and
+    the kept rows are concatenated into a new :class:`Dataset` (the input is
+    never modified).
+    """
+    keep_indices = []
+    for group_value in (0, 1):
+        for label in (0, 1):
+            mask = (dataset.group == group_value) & (dataset.y == label)
+            partition_rows = np.flatnonzero(mask)
+            if partition_rows.size == 0:
+                continue
+            local = density_filter_indices(
+                dataset.numeric_X[partition_rows],
+                density_fraction=density_fraction,
+                min_keep=min_keep,
+                kernel=kernel,
+                bandwidth=bandwidth,
+            )
+            keep_indices.append(partition_rows[local])
+    if not keep_indices:
+        raise ValidationError("Dataset has no non-empty (group, label) partitions")
+    all_indices = np.sort(np.concatenate(keep_indices))
+    return dataset.subset(all_indices)
+
+
+def partition_density_ranks(
+    dataset: Dataset,
+    *,
+    kernel: str = "gaussian",
+    bandwidth="scott",
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """Per-partition density ranks (0 = densest) keyed by ``(group, label)``.
+
+    Exposed for diagnostics and the ablation benchmarks; not needed by the
+    main algorithms.
+    """
+    ranks: Dict[Tuple[int, int], np.ndarray] = {}
+    for group_value in (0, 1):
+        for label in (0, 1):
+            mask = (dataset.group == group_value) & (dataset.y == label)
+            rows = np.flatnonzero(mask)
+            if rows.size == 0:
+                continue
+            if rows.size == 1:
+                ranks[(group_value, label)] = np.array([0])
+                continue
+            estimator = KernelDensity(bandwidth=bandwidth, kernel=kernel).fit(
+                dataset.numeric_X[rows]
+            )
+            ranks[(group_value, label)] = estimator.density_rank(dataset.numeric_X[rows])
+    return ranks

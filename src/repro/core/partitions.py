@@ -1,0 +1,125 @@
+"""Shared profiling step: constraint sets per (group, label) partition.
+
+Both ConFair (Algorithm 2) and DiffFair (Algorithm 1) begin by partitioning
+the training data by group membership and target label, and deriving one
+conformance-constraint set per partition.  When the density optimization
+(Algorithm 3) is enabled, each partition is first filtered down to its
+densest tuples so the derived constraints are tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.density_filter import density_filter_indices
+from repro.datasets.table import Dataset
+from repro.exceptions import ConstraintError
+from repro.profiling.constraints import ConstraintSet
+from repro.profiling.discovery import DiscoveryConfig, discover_constraints
+
+PartitionKey = Tuple[int, int]
+"""(group, label) pair: group 0 = majority W, 1 = minority U."""
+
+
+@dataclass
+class PartitionProfile:
+    """Constraint sets learned per (group, label) partition of a training set.
+
+    Attributes
+    ----------
+    constraint_sets:
+        Mapping from ``(group, label)`` to the :class:`ConstraintSet` learned
+        on that partition (on its densest tuples when filtering is enabled).
+    partition_sizes:
+        Number of training tuples per partition (before filtering).
+    profiled_sizes:
+        Number of tuples actually profiled per partition (after filtering).
+    """
+
+    constraint_sets: Dict[PartitionKey, ConstraintSet] = field(default_factory=dict)
+    partition_sizes: Dict[PartitionKey, int] = field(default_factory=dict)
+    profiled_sizes: Dict[PartitionKey, int] = field(default_factory=dict)
+
+    def violation(self, key: PartitionKey, X_numeric: np.ndarray) -> np.ndarray:
+        """Quantitative violation of the partition's constraints for each row."""
+        if key not in self.constraint_sets:
+            raise ConstraintError(f"No constraint set for partition {key!r}")
+        return self.constraint_sets[key].violation(X_numeric)
+
+    def min_violation_for_group(self, group_value: int, X_numeric: np.ndarray) -> np.ndarray:
+        """Per-row minimum violation across the label partitions of one group.
+
+        This is the ``min_{Phi in C}`` step of Algorithm 1's PREDICT
+        procedure: a tuple's affinity to a group is its violation against the
+        *closest* label partition of that group.
+        """
+        violations = [
+            self.violation((group_value, label), X_numeric)
+            for label in (0, 1)
+            if (group_value, label) in self.constraint_sets
+        ]
+        if not violations:
+            raise ConstraintError(f"No constraint sets for group {group_value}")
+        return np.minimum.reduce(violations)
+
+    def keys(self):
+        return self.constraint_sets.keys()
+
+
+def profile_partitions(
+    dataset: Dataset,
+    *,
+    discovery_config: Optional[DiscoveryConfig] = None,
+    use_density_filter: bool = True,
+    density_fraction: float = 0.2,
+    min_partition_size: int = 2,
+) -> PartitionProfile:
+    """Derive conformance constraints for every (group, label) partition.
+
+    Parameters
+    ----------
+    dataset:
+        The training dataset (constraints are always learned on training
+        data only).
+    discovery_config:
+        Hyper-parameters of constraint discovery.
+    use_density_filter:
+        Apply Algorithm 3 within each partition before deriving constraints.
+    density_fraction:
+        Fraction of densest tuples kept by the filter (paper: 0.2).
+    min_partition_size:
+        Partitions smaller than this are skipped (no constraints derived);
+        callers treat missing partitions as "no information".
+    """
+    profile = PartitionProfile()
+    for group_value in (0, 1):
+        for label in (0, 1):
+            key: PartitionKey = (group_value, label)
+            mask = (dataset.group == group_value) & (dataset.y == label)
+            rows = np.flatnonzero(mask)
+            profile.partition_sizes[key] = int(rows.size)
+            if rows.size < min_partition_size:
+                continue
+            X_partition = dataset.numeric_X[rows]
+            if use_density_filter and rows.size > 4:
+                kept = density_filter_indices(
+                    X_partition, density_fraction=density_fraction
+                )
+                X_profiled = X_partition[kept]
+            else:
+                X_profiled = X_partition
+            profile.profiled_sizes[key] = int(X_profiled.shape[0])
+            group_name = "U" if group_value == 1 else "W"
+            profile.constraint_sets[key] = discover_constraints(
+                X_profiled,
+                config=discovery_config,
+                label=f"{dataset.name}:{group_name}:y={label}",
+            )
+    if not profile.constraint_sets:
+        raise ConstraintError(
+            "No (group, label) partition was large enough to derive constraints"
+        )
+    return profile

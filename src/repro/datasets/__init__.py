@@ -1,0 +1,43 @@
+"""Dataset substrate: containers, generators, preprocessing, and a registry.
+
+The paper evaluates on 7 real-world benchmark datasets (MEPS, LSAC, Credit,
+and four ACS/Folktables tasks) plus 5 synthetic drift datasets.  The raw
+real-world extracts cannot be redistributed or downloaded in this offline
+environment, so :mod:`repro.datasets.realworld` provides *statistical
+surrogates* calibrated to the published summary statistics (Fig. 4), with a
+controlled majority/minority drift so the phenomenon under study is present.
+See DESIGN.md §3 for the substitution rationale.
+
+Public entry points:
+
+* :func:`load_dataset` / :func:`available_datasets` — name-based access to
+  every benchmark dataset (surrogate or synthetic).
+* :class:`Dataset` — an immutable container of features, labels, and group
+  membership with convenient partitioning helpers.
+* :func:`make_classification` and :func:`make_drifted_groups` — synthetic
+  generators (the latter reproduces the Fig. 10 drift scenario).
+* :class:`PreprocessingPipeline` — null removal, scaling, one-hot encoding.
+* :func:`split_dataset` — the 70/15/15 train/validation/deploy protocol.
+"""
+
+from repro.datasets.preprocessing import PreprocessingPipeline, RawTable
+from repro.datasets.registry import available_datasets, dataset_summary, load_dataset
+from repro.datasets.schema import ColumnSpec, DatasetSpec
+from repro.datasets.splits import DatasetSplit, split_dataset
+from repro.datasets.synthetic import make_classification, make_drifted_groups
+from repro.datasets.table import Dataset
+
+__all__ = [
+    "ColumnSpec",
+    "Dataset",
+    "DatasetSpec",
+    "DatasetSplit",
+    "PreprocessingPipeline",
+    "RawTable",
+    "available_datasets",
+    "dataset_summary",
+    "load_dataset",
+    "make_classification",
+    "make_drifted_groups",
+    "split_dataset",
+]

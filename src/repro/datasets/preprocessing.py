@@ -1,0 +1,199 @@
+"""Raw-table preprocessing: null removal, scaling, one-hot encoding.
+
+The paper's experimental steps preprocess every dataset the same way:
+remove null values, normalize numerical attributes, and one-hot encode
+categorical attributes.  :class:`RawTable` represents the pre-processing
+input (numeric columns possibly containing NaN, plus object-valued
+categorical columns); :class:`PreprocessingPipeline` applies the paper's
+steps and produces a :class:`repro.datasets.table.Dataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.table import Dataset
+from repro.exceptions import DatasetError
+from repro.learners.encoder import OneHotEncoder
+from repro.learners.scaler import MinMaxScaler, StandardScaler
+
+
+@dataclass
+class RawTable:
+    """A not-yet-preprocessed table.
+
+    Parameters
+    ----------
+    numeric:
+        ``(n_rows, n_numeric)`` float matrix; may contain NaN for missing
+        values.
+    categorical:
+        ``(n_rows, n_categorical)`` object matrix of category values; may
+        contain ``None`` for missing values.  May be empty (zero columns).
+    y:
+        Binary labels.
+    group:
+        Binary group membership (1 = minority).
+    numeric_names, categorical_names:
+        Optional column names.
+    name:
+        Table name, propagated to the resulting :class:`Dataset`.
+    """
+
+    numeric: np.ndarray
+    categorical: np.ndarray
+    y: np.ndarray
+    group: np.ndarray
+    numeric_names: Tuple[str, ...] = ()
+    categorical_names: Tuple[str, ...] = ()
+    name: str = "raw"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.numeric = np.asarray(self.numeric, dtype=np.float64)
+        if self.numeric.ndim == 1:
+            self.numeric = self.numeric.reshape(-1, 1)
+        self.categorical = np.asarray(self.categorical, dtype=object)
+        if self.categorical.ndim == 1:
+            self.categorical = self.categorical.reshape(-1, 1)
+        if self.categorical.size == 0 and self.categorical.shape[0] == 0:
+            # A fully-empty categorical block (e.g. []) means "no categorical
+            # columns"; normalize it to (n_rows, 0).  A (k, 0) block with a
+            # different row count is left as-is so the length check below
+            # reports the inconsistency.
+            self.categorical = np.empty((self.numeric.shape[0], 0), dtype=object)
+        self.y = np.asarray(self.y).ravel()
+        self.group = np.asarray(self.group).ravel()
+        n_rows = self.numeric.shape[0]
+        if not (self.categorical.shape[0] == n_rows == self.y.shape[0] == self.group.shape[0]):
+            raise DatasetError("All RawTable components must have the same number of rows")
+        if not self.numeric_names:
+            self.numeric_names = tuple(f"num{j}" for j in range(self.numeric.shape[1]))
+        if not self.categorical_names:
+            self.categorical_names = tuple(f"cat{j}" for j in range(self.categorical.shape[1]))
+        if len(self.numeric_names) != self.numeric.shape[1]:
+            raise DatasetError("numeric_names length must match the numeric column count")
+        if len(self.categorical_names) != self.categorical.shape[1]:
+            raise DatasetError("categorical_names length must match the categorical column count")
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.numeric.shape[0])
+
+    def null_mask(self) -> np.ndarray:
+        """Boolean mask of rows containing at least one missing value."""
+        numeric_null = np.isnan(self.numeric).any(axis=1) if self.numeric.shape[1] else np.zeros(
+            self.n_rows, dtype=bool
+        )
+        if self.categorical.shape[1]:
+            categorical_null = np.array(
+                [any(value is None for value in row) for row in self.categorical], dtype=bool
+            )
+        else:
+            categorical_null = np.zeros(self.n_rows, dtype=bool)
+        return numeric_null | categorical_null
+
+
+@dataclass
+class PreprocessingPipeline:
+    """Apply the paper's preprocessing steps to a :class:`RawTable`.
+
+    Parameters
+    ----------
+    scaler:
+        ``"minmax"`` (default, matching "normalizing numerical attributes"),
+        ``"standard"``, or ``"none"``.
+    drop_nulls:
+        Remove rows with any missing value (the paper's policy).  When
+        ``False``, numeric NaNs are imputed with the column median and
+        categorical ``None`` becomes the explicit category ``"missing"``.
+    """
+
+    scaler: str = "minmax"
+    drop_nulls: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scaler not in ("minmax", "standard", "none"):
+            raise DatasetError("scaler must be 'minmax', 'standard', or 'none'")
+
+    def fit_transform(self, table: RawTable) -> Dataset:
+        """Preprocess ``table`` into a model-ready :class:`Dataset`."""
+        numeric = table.numeric
+        categorical = table.categorical
+        y = table.y
+        group = table.group
+
+        if self.drop_nulls:
+            keep = ~table.null_mask()
+            if not keep.any():
+                raise DatasetError("All rows contain null values; nothing left after dropping")
+            numeric, categorical, y, group = numeric[keep], categorical[keep], y[keep], group[keep]
+        else:
+            numeric = self._impute_numeric(numeric)
+            categorical = self._impute_categorical(categorical)
+
+        blocks = []
+        names: list = []
+        if numeric.shape[1]:
+            scaled = self._scale(numeric)
+            blocks.append(scaled)
+            names.extend(table.numeric_names)
+        if categorical.shape[1]:
+            encoder = OneHotEncoder().fit(categorical)
+            encoded = encoder.transform(categorical)
+            blocks.append(encoded)
+            for column_name, categories in zip(table.categorical_names, encoder.categories_):
+                names.extend(f"{column_name}={value}" for value in categories)
+        if not blocks:
+            raise DatasetError("RawTable has no attribute columns")
+
+        X = np.hstack(blocks)
+        return Dataset(
+            X=X,
+            y=y,
+            group=group,
+            feature_names=tuple(names),
+            n_numeric_features=numeric.shape[1],
+            name=table.name,
+            metadata=dict(table.metadata),
+        )
+
+    # ------------------------------------------------------------ internals
+    def _scale(self, numeric: np.ndarray) -> np.ndarray:
+        if self.scaler == "minmax":
+            return MinMaxScaler().fit_transform(numeric)
+        if self.scaler == "standard":
+            return StandardScaler().fit_transform(numeric)
+        return numeric.copy()
+
+    @staticmethod
+    def _impute_numeric(numeric: np.ndarray) -> np.ndarray:
+        if numeric.shape[1] == 0:
+            return numeric
+        imputed = numeric.copy()
+        for j in range(imputed.shape[1]):
+            column = imputed[:, j]
+            missing = np.isnan(column)
+            if missing.any():
+                fill = np.nanmedian(column) if not missing.all() else 0.0
+                column[missing] = fill
+        return imputed
+
+    @staticmethod
+    def _impute_categorical(categorical: np.ndarray) -> np.ndarray:
+        if categorical.shape[1] == 0:
+            return categorical
+        imputed = categorical.copy()
+        for row in range(imputed.shape[0]):
+            for col in range(imputed.shape[1]):
+                if imputed[row, col] is None:
+                    imputed[row, col] = "missing"
+        return imputed
+
+
+def preprocess(table: RawTable, *, scaler: str = "minmax", drop_nulls: bool = True) -> Dataset:
+    """Convenience wrapper around :class:`PreprocessingPipeline`."""
+    return PreprocessingPipeline(scaler=scaler, drop_nulls=drop_nulls).fit_transform(table)

@@ -1,0 +1,97 @@
+"""Name-based access to every benchmark dataset.
+
+``load_dataset("meps")`` returns a preprocessed :class:`Dataset` for the MEPS
+surrogate; ``load_dataset("syn1")`` … ``load_dataset("syn5")`` return the
+synthetic drift datasets of the Fig. 10/11 study.  All loaders are
+deterministic given ``random_state``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.datasets.preprocessing import PreprocessingPipeline
+from repro.datasets.realworld import generate_surrogate_by_name
+from repro.datasets.schema import PAPER_DATASET_SPECS
+from repro.datasets.synthetic import make_drifted_groups
+from repro.datasets.table import Dataset
+from repro.exceptions import DatasetError
+
+REAL_WORLD_NAMES = tuple(sorted(PAPER_DATASET_SPECS))
+"""Names of the 7 real-world (surrogate) benchmarks."""
+
+SYNTHETIC_NAMES = ("syn1", "syn2", "syn3", "syn4", "syn5")
+"""Names of the 5 synthetic drift datasets used in the Fig. 11 study."""
+
+_SYNTHETIC_ANGLES: Dict[str, float] = {
+    "syn1": 85.0,
+    "syn2": 75.0,
+    "syn3": 65.0,
+    "syn4": 55.0,
+    "syn5": 90.0,
+}
+
+_DEFAULT_SYNTHETIC_SCALE = 0.2  # 20% of the paper's 11,000 rows by default.
+
+
+def available_datasets() -> List[str]:
+    """Return every dataset name accepted by :func:`load_dataset`."""
+    return list(REAL_WORLD_NAMES) + list(SYNTHETIC_NAMES)
+
+
+def load_dataset(
+    name: str,
+    *,
+    size_factor: Optional[float] = None,
+    random_state=0,
+    scaler: str = "minmax",
+) -> Dataset:
+    """Load a benchmark dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets` (case-insensitive).
+    size_factor:
+        Fraction of the published dataset size to generate.  Defaults to a
+        per-dataset laptop-scale factor; pass ``1.0`` for the full published
+        size.
+    random_state:
+        Seed controlling the surrogate generation (and hence the exact rows).
+    scaler:
+        Numerical scaling applied during preprocessing (``"minmax"``,
+        ``"standard"``, or ``"none"``).
+    """
+    key = name.strip().lower()
+    if key in PAPER_DATASET_SPECS:
+        raw = generate_surrogate_by_name(key, size_factor=size_factor, random_state=random_state)
+        return PreprocessingPipeline(scaler=scaler).fit_transform(raw)
+    if key in SYNTHETIC_NAMES:
+        scale = size_factor if size_factor is not None else _DEFAULT_SYNTHETIC_SCALE
+        if not 0.0 < scale <= 1.0:
+            raise DatasetError("size_factor must be in (0, 1]")
+        n_majority = max(200, int(round(8000 * scale)))
+        n_minority = max(80, int(round(3000 * scale)))
+        index = int(key[-1])
+        return make_drifted_groups(
+            n_majority=n_majority,
+            n_minority=n_minority,
+            n_features=6,
+            drift_angle=_SYNTHETIC_ANGLES[key],
+            class_sep=1.3,
+            name=key,
+            random_state=(random_state or 0) + index,
+        )
+    raise DatasetError(f"Unknown dataset {name!r}; available: {available_datasets()}")
+
+
+def dataset_summary(names: Optional[List[str]] = None) -> List[Dict[str, object]]:
+    """Return the Fig. 4 summary table (one dict per real-world benchmark)."""
+    selected = names if names is not None else list(REAL_WORLD_NAMES)
+    rows = []
+    for name in selected:
+        key = name.strip().lower()
+        if key not in PAPER_DATASET_SPECS:
+            raise DatasetError(f"Unknown real-world dataset {name!r}")
+        rows.append(PAPER_DATASET_SPECS[key].summary_row())
+    return rows

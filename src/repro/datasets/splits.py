@@ -1,0 +1,103 @@
+"""Train/validation/deploy splitting of :class:`Dataset` objects.
+
+The paper splits every dataset 70/15/15 into training, validation, and
+deploy (test) sets, stratified implicitly by repeating the random split over
+20 seeds.  :func:`split_dataset` performs one such split (stratified on the
+label so small minority partitions stay populated) and returns a
+:class:`DatasetSplit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.datasets.table import Dataset
+from repro.exceptions import DatasetError
+from repro.utils.random import check_random_state
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """The three partitions of one train/validation/deploy split."""
+
+    train: Dataset
+    validation: Dataset
+    deploy: Dataset
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter((self.train, self.validation, self.deploy))
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        """Row counts of (train, validation, deploy)."""
+        return (self.train.n_samples, self.validation.n_samples, self.deploy.n_samples)
+
+
+def split_dataset(
+    dataset: Dataset,
+    *,
+    train_size: float = 0.70,
+    validation_size: float = 0.15,
+    random_state=None,
+    stratify_by_group: bool = True,
+) -> DatasetSplit:
+    """Split ``dataset`` into train/validation/deploy partitions.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to split.
+    train_size, validation_size:
+        Fractions for the training and validation partitions; the deploy
+        partition receives the remainder.  Defaults follow the paper
+        (70% / 15% / 15%).
+    random_state:
+        Seed or generator.
+    stratify_by_group:
+        Stratify the assignment on the (group, label) pair so every partition
+        contains all four sub-populations whenever the input does.
+    """
+    if not 0.0 < train_size < 1.0 or not 0.0 < validation_size < 1.0:
+        raise DatasetError("train_size and validation_size must be in (0, 1)")
+    deploy_size = 1.0 - train_size - validation_size
+    if deploy_size <= 0.0:
+        raise DatasetError("train_size + validation_size must be < 1")
+
+    rng = check_random_state(random_state)
+    n_samples = dataset.n_samples
+    assignment = np.empty(n_samples, dtype=np.int64)  # 0=train, 1=validation, 2=deploy
+
+    if stratify_by_group:
+        strata = dataset.group * 2 + dataset.y
+    else:
+        strata = dataset.y
+
+    for stratum in np.unique(strata):
+        indices = np.flatnonzero(strata == stratum)
+        rng.shuffle(indices)
+        n_stratum = indices.size
+        n_train = int(round(train_size * n_stratum))
+        n_validation = int(round(validation_size * n_stratum))
+        # Ensure every partition receives at least one row from strata that
+        # are large enough to spare them.
+        if n_stratum >= 3:
+            n_train = min(max(n_train, 1), n_stratum - 2)
+            n_validation = min(max(n_validation, 1), n_stratum - n_train - 1)
+        assignment[indices[:n_train]] = 0
+        assignment[indices[n_train : n_train + n_validation]] = 1
+        assignment[indices[n_train + n_validation :]] = 2
+
+    for partition in (0, 1, 2):
+        if not np.any(assignment == partition):
+            raise DatasetError(
+                "Dataset is too small to produce non-empty train/validation/deploy partitions"
+            )
+
+    return DatasetSplit(
+        train=dataset.subset(assignment == 0),
+        validation=dataset.subset(assignment == 1),
+        deploy=dataset.subset(assignment == 2),
+    )

@@ -1,0 +1,207 @@
+"""Synthetic dataset generators.
+
+Two generators live here:
+
+* :func:`make_classification` — a reimplementation of the scikit-learn
+  generator the paper uses for its synthetic study: class-conditional Gaussian
+  clusters placed on the vertices of a hypercube in an informative subspace,
+  plus redundant (linear-combination) features, noise features, and label
+  flips.
+* :func:`make_drifted_groups` — the Fig. 10 scenario: a majority and a
+  minority group occupying overlapping regions of the input space but with
+  *dissimilar* class-conditional distributions (covariate + concept drift
+  across groups), so that a single model cannot conform to both groups.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.table import Dataset
+from repro.exceptions import DatasetError
+from repro.utils.random import check_random_state
+
+
+def make_classification(
+    n_samples: int = 1000,
+    n_features: int = 6,
+    n_informative: int = 3,
+    n_redundant: int = 1,
+    class_sep: float = 1.0,
+    flip_y: float = 0.01,
+    weights: Optional[Tuple[float, float]] = None,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a random binary classification problem.
+
+    Follows the construction of ``sklearn.datasets.make_classification``:
+    one Gaussian cluster per class centred on opposite hypercube vertices of
+    an informative subspace (scaled by ``class_sep``), linear combinations of
+    the informative features as redundant features, standard-normal noise for
+    the remaining features, and a ``flip_y`` fraction of labels flipped.
+
+    Returns
+    -------
+    (X, y):
+        Feature matrix of shape ``(n_samples, n_features)`` and 0/1 labels.
+    """
+    if n_samples < 2:
+        raise DatasetError("n_samples must be at least 2")
+    if n_informative < 1:
+        raise DatasetError("n_informative must be at least 1")
+    if n_informative + n_redundant > n_features:
+        raise DatasetError("n_informative + n_redundant cannot exceed n_features")
+    if not 0.0 <= flip_y < 1.0:
+        raise DatasetError("flip_y must be in [0, 1)")
+    if weights is not None:
+        if len(weights) != 2 or abs(sum(weights) - 1.0) > 1e-9 or min(weights) <= 0:
+            raise DatasetError("weights must be two positive class proportions summing to 1")
+
+    rng = check_random_state(random_state)
+    class_weights = weights if weights is not None else (0.5, 0.5)
+    n_positive = int(round(class_weights[1] * n_samples))
+    n_positive = min(max(n_positive, 1), n_samples - 1)
+    y = np.zeros(n_samples, dtype=np.int64)
+    y[:n_positive] = 1
+    rng.shuffle(y)
+
+    centroid = rng.normal(0.0, 1.0, size=n_informative)
+    centroid = centroid / max(np.linalg.norm(centroid), 1e-12) * class_sep
+
+    X = np.empty((n_samples, n_features), dtype=np.float64)
+    informative = rng.normal(0.0, 1.0, size=(n_samples, n_informative))
+    informative[y == 1] += centroid
+    informative[y == 0] -= centroid
+    X[:, :n_informative] = informative
+
+    if n_redundant > 0:
+        mixing = rng.normal(0.0, 1.0, size=(n_informative, n_redundant))
+        X[:, n_informative : n_informative + n_redundant] = informative @ mixing
+
+    n_noise = n_features - n_informative - n_redundant
+    if n_noise > 0:
+        X[:, n_informative + n_redundant :] = rng.normal(0.0, 1.0, size=(n_samples, n_noise))
+
+    if flip_y > 0:
+        flip_mask = rng.random(n_samples) < flip_y
+        y[flip_mask] = 1 - y[flip_mask]
+
+    return X, y
+
+
+def make_drifted_groups(
+    n_majority: int = 8000,
+    n_minority: int = 3000,
+    n_features: int = 6,
+    drift_angle: float = 75.0,
+    class_sep: float = 1.3,
+    group_shift: float = 3.0,
+    minority_positive_rate: float = 0.5,
+    majority_positive_rate: float = 0.5,
+    flip_y: float = 0.02,
+    name: str = "synthetic",
+    random_state=None,
+) -> Dataset:
+    """Generate the Fig. 10 drift scenario as a :class:`Dataset`.
+
+    The two groups display dissimilar attribute distributions: the minority's
+    class boundary is rotated by ``drift_angle`` degrees relative to the
+    majority's, and the whole minority group is shifted by ``group_shift``
+    toward the *negative* side of the majority's boundary.  A single model
+    trained on the pooled data therefore conforms to the majority and
+    under-selects the minority (fewer positive outputs), which is exactly the
+    regime where the model-splitting strategy (DiffFair) is expected to win.
+
+    Parameters
+    ----------
+    n_majority, n_minority:
+        Group sizes (the paper uses 8,000 and 3,000).
+    n_features:
+        Total number of numerical attributes; the drift is constructed in the
+        first two dimensions and the rest are noise.
+    drift_angle:
+        Rotation (degrees) between the majority and minority class boundaries.
+    class_sep:
+        Distance of class centroids from the group centre.
+    group_shift:
+        Displacement of the minority group's centre along the negative
+        majority direction (0 places both groups on the same centre).
+    minority_positive_rate, majority_positive_rate:
+        Positive-label proportions per group (0.5/0.5 in the paper).
+    flip_y:
+        Fraction of labels flipped at random.
+    name:
+        Dataset name.
+    random_state:
+        Seed or generator.
+    """
+    if n_features < 2:
+        raise DatasetError("make_drifted_groups needs at least 2 features")
+    if n_majority < 4 or n_minority < 4:
+        raise DatasetError("each group needs at least 4 samples")
+    if group_shift < 0:
+        raise DatasetError("group_shift must be non-negative")
+    rng = check_random_state(random_state)
+
+    def group_block(
+        n_rows: int,
+        positive_rate: float,
+        direction: np.ndarray,
+        centre: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n_positive = int(round(positive_rate * n_rows))
+        n_positive = min(max(n_positive, 1), n_rows - 1)
+        labels = np.zeros(n_rows, dtype=np.int64)
+        labels[:n_positive] = 1
+        rng.shuffle(labels)
+        features = rng.normal(0.0, 1.0, size=(n_rows, n_features))
+        offsets = np.tile(centre, (n_rows, 1))
+        offsets[labels == 1] += class_sep * direction
+        offsets[labels == 0] -= class_sep * direction
+        features[:, :2] += offsets
+        return features, labels
+
+    majority_direction = np.array([1.0, 0.0])
+    angle = np.deg2rad(drift_angle)
+    minority_direction = np.array([np.cos(angle), np.sin(angle)])
+    majority_centre = np.zeros(2)
+    minority_centre = -group_shift * majority_direction
+
+    X_majority, y_majority = group_block(
+        n_majority, majority_positive_rate, majority_direction, majority_centre
+    )
+    X_minority, y_minority = group_block(
+        n_minority, minority_positive_rate, minority_direction, minority_centre
+    )
+
+    X = np.vstack([X_majority, X_minority])
+    y = np.concatenate([y_majority, y_minority])
+    group = np.concatenate(
+        [np.zeros(n_majority, dtype=np.int64), np.ones(n_minority, dtype=np.int64)]
+    )
+
+    if flip_y > 0:
+        flip_mask = rng.random(X.shape[0]) < flip_y
+        y = y.copy()
+        y[flip_mask] = 1 - y[flip_mask]
+
+    permutation = rng.permutation(X.shape[0])
+    feature_names = tuple(f"x{j}" for j in range(n_features))
+    return Dataset(
+        X=X[permutation],
+        y=y[permutation],
+        group=group[permutation],
+        feature_names=feature_names,
+        n_numeric_features=n_features,
+        name=name,
+        metadata={
+            "generator": "make_drifted_groups",
+            "drift_angle": drift_angle,
+            "class_sep": class_sep,
+            "group_shift": group_shift,
+            "n_majority": n_majority,
+            "n_minority": n_minority,
+        },
+    )

@@ -1,0 +1,174 @@
+"""The :class:`Dataset` container used throughout the library.
+
+A ``Dataset`` bundles the preprocessed numerical feature matrix, the binary
+target, the binary group-membership vector (1 = minority), and bookkeeping
+metadata (feature names, how many leading columns are "truly numeric" as
+opposed to one-hot indicators).  It is deliberately immutable: interventions
+never modify a dataset in place — the non-invasive ones return weights or
+routing models, the invasive baseline (CAP) returns a *new* dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.validation import check_array, check_binary_labels
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Preprocessed tabular dataset with group membership.
+
+    Parameters
+    ----------
+    X:
+        ``(n_samples, n_features)`` float matrix.  The first
+        ``n_numeric_features`` columns are scaled numerical attributes; any
+        remaining columns are one-hot indicators of categorical attributes.
+    y:
+        Binary target labels (0/1).
+    group:
+        Binary group membership (0 = majority ``W``, 1 = minority ``U``) —
+        the output of the paper's mapping function ``g``.
+    feature_names:
+        One name per column of ``X``.
+    n_numeric_features:
+        Number of leading numerical columns; conformance constraints are
+        derived over exactly these columns.
+    name:
+        Dataset name (used in reports).
+    metadata:
+        Free-form provenance information (generator parameters etc.).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    group: np.ndarray
+    feature_names: Tuple[str, ...] = ()
+    n_numeric_features: Optional[int] = None
+    name: str = "dataset"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        X = check_array(self.X, name="X")
+        y = check_binary_labels(self.y, name="y")
+        group = check_binary_labels(self.group, name="group")
+        if y.shape[0] != X.shape[0] or group.shape[0] != X.shape[0]:
+            raise DatasetError(
+                "X, y, and group must have the same number of rows: "
+                f"{X.shape[0]}, {y.shape[0]}, {group.shape[0]}"
+            )
+        names = tuple(self.feature_names) if self.feature_names else tuple(
+            f"f{j}" for j in range(X.shape[1])
+        )
+        if len(names) != X.shape[1]:
+            raise DatasetError(
+                f"feature_names has {len(names)} entries, X has {X.shape[1]} columns"
+            )
+        n_numeric = self.n_numeric_features
+        if n_numeric is None:
+            n_numeric = X.shape[1]
+        if not 0 <= n_numeric <= X.shape[1]:
+            raise DatasetError("n_numeric_features must be between 0 and n_features")
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+        object.__setattr__(self, "group", group)
+        object.__setattr__(self, "feature_names", names)
+        object.__setattr__(self, "n_numeric_features", int(n_numeric))
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_samples(self) -> int:
+        """Number of rows."""
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of feature columns (numeric + one-hot)."""
+        return int(self.X.shape[1])
+
+    @property
+    def numeric_X(self) -> np.ndarray:
+        """The leading numerical columns (what conformance constraints profile)."""
+        return self.X[:, : self.n_numeric_features]
+
+    @property
+    def minority_fraction(self) -> float:
+        """Fraction of rows belonging to the minority group."""
+        return float(np.mean(self.group == 1))
+
+    @property
+    def positive_rate(self) -> float:
+        """Overall fraction of positive labels."""
+        return float(np.mean(self.y == 1))
+
+    def group_positive_rate(self, group_value: int) -> float:
+        """Positive-label rate within one group (0 = majority, 1 = minority)."""
+        mask = self.group == group_value
+        if not mask.any():
+            raise DatasetError(f"Dataset has no rows with group == {group_value}")
+        return float(np.mean(self.y[mask] == 1))
+
+    # ------------------------------------------------------------ selection
+    def subset(self, mask_or_indices) -> "Dataset":
+        """Return a new dataset restricted to the given rows."""
+        indices = np.asarray(mask_or_indices)
+        if indices.dtype == bool:
+            if indices.shape[0] != self.n_samples:
+                raise DatasetError("Boolean mask length must equal n_samples")
+            indices = np.flatnonzero(indices)
+        if indices.size == 0:
+            raise DatasetError("Cannot create an empty dataset subset")
+        return replace(
+            self,
+            X=self.X[indices],
+            y=self.y[indices],
+            group=self.group[indices],
+        )
+
+    def partition(self, *, group_value: Optional[int] = None, label: Optional[int] = None) -> "Dataset":
+        """Return the sub-dataset matching a group value and/or label value."""
+        mask = np.ones(self.n_samples, dtype=bool)
+        if group_value is not None:
+            mask &= self.group == group_value
+        if label is not None:
+            mask &= self.y == label
+        if not mask.any():
+            raise DatasetError(
+                f"Empty partition for group={group_value!r}, label={label!r} in {self.name!r}"
+            )
+        return self.subset(mask)
+
+    def partition_sizes(self) -> Dict[Tuple[int, int], int]:
+        """Return ``{(group, label): count}`` for all four partitions."""
+        sizes: Dict[Tuple[int, int], int] = {}
+        for group_value in (0, 1):
+            for label in (0, 1):
+                mask = (self.group == group_value) & (self.y == label)
+                sizes[(group_value, label)] = int(mask.sum())
+        return sizes
+
+    def with_name(self, name: str) -> "Dataset":
+        """Return a copy carrying a different name."""
+        return replace(self, name=name)
+
+    def replace_labels(self, y: Sequence[int]) -> "Dataset":
+        """Return a copy with a different label vector (used by invasive baselines)."""
+        return replace(self, y=np.asarray(y))
+
+    def describe(self) -> Dict[str, object]:
+        """Summary statistics used by reports and the Fig. 4 reproduction."""
+        return {
+            "name": self.name,
+            "n_samples": self.n_samples,
+            "n_features": self.n_features,
+            "n_numeric_features": self.n_numeric_features,
+            "minority_fraction": round(self.minority_fraction, 4),
+            "positive_rate": round(self.positive_rate, 4),
+            "minority_positive_rate": round(self.group_positive_rate(1), 4),
+            "majority_positive_rate": round(self.group_positive_rate(0), 4),
+        }

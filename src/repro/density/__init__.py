@@ -1,0 +1,27 @@
+"""Kernel density estimation substrate.
+
+Algorithm 3 of the paper ranks tuples by their estimated density (using a
+tree-based, non-parametric kernel density estimator from scikit-learn) and
+keeps the densest ``k`` tuples per partition.  This subpackage rebuilds that
+substrate:
+
+* :class:`KDTree` — a k-d tree with range queries, used to prune kernel sums.
+* :class:`KernelDensity` — Gaussian / tophat / Epanechnikov KDE with either a
+  brute-force or a KD-tree backed evaluation, plus Scott's and Silverman's
+  bandwidth rules.
+"""
+
+from repro.density.kde import KernelDensity, scott_bandwidth, silverman_bandwidth
+from repro.density.kdtree import KDTree
+from repro.density.kernels import epanechnikov_kernel, gaussian_kernel, kernel_by_name, tophat_kernel
+
+__all__ = [
+    "KDTree",
+    "KernelDensity",
+    "epanechnikov_kernel",
+    "gaussian_kernel",
+    "kernel_by_name",
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "tophat_kernel",
+]

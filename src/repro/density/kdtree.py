@@ -1,0 +1,170 @@
+"""A k-d tree with nearest-neighbour and radius queries.
+
+Used by :class:`repro.density.kde.KernelDensity` to restrict kernel sums to
+points within a few bandwidths of the query (relevant for compact kernels),
+and exposed on its own as a spatial-index substrate.  The implementation is a
+classic median-split k-d tree over a numpy array; queries are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array
+
+
+@dataclass
+class _KDNode:
+    """Internal node: splitting axis/value plus bounding box of its subtree."""
+
+    indices: np.ndarray
+    axis: int = -1
+    split_value: float = 0.0
+    left: Optional["_KDNode"] = None
+    right: Optional["_KDNode"] = None
+    lower_bound: Optional[np.ndarray] = None
+    upper_bound: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class KDTree:
+    """Exact k-d tree over a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n_points, n_dims)`` matrix.
+    leaf_size:
+        Maximum number of points stored in a leaf before splitting stops.
+    """
+
+    def __init__(self, points, leaf_size: int = 16) -> None:
+        if leaf_size < 1:
+            raise ValidationError("leaf_size must be at least 1")
+        self._points = check_array(points, name="points")
+        self.leaf_size = leaf_size
+        self.n_points, self.n_dims = self._points.shape
+        self._root = self._build(np.arange(self.n_points), depth=0)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed points (read-only view)."""
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    # ---------------------------------------------------------------- build
+    def _build(self, indices: np.ndarray, depth: int) -> _KDNode:
+        subset = self._points[indices]
+        node = _KDNode(
+            indices=indices,
+            lower_bound=subset.min(axis=0),
+            upper_bound=subset.max(axis=0),
+        )
+        if indices.size <= self.leaf_size:
+            return node
+
+        spreads = node.upper_bound - node.lower_bound
+        axis = int(np.argmax(spreads))
+        if spreads[axis] <= 0.0:
+            # All remaining points are identical: keep as a leaf.
+            return node
+
+        values = subset[:, axis]
+        median = float(np.median(values))
+        left_mask = values <= median
+        # Guard against degenerate splits where the median equals the maximum.
+        if left_mask.all() or not left_mask.any():
+            order = np.argsort(values)
+            half = indices.size // 2
+            left_mask = np.zeros(indices.size, dtype=bool)
+            left_mask[order[:half]] = True
+
+        node.axis = axis
+        node.split_value = median
+        node.left = self._build(indices[left_mask], depth + 1)
+        node.right = self._build(indices[~left_mask], depth + 1)
+        return node
+
+    # -------------------------------------------------------------- queries
+    def query_radius(self, point, radius: float) -> np.ndarray:
+        """Return the indices of all points within ``radius`` of ``point``."""
+        if radius < 0:
+            raise ValidationError("radius must be non-negative")
+        query = self._as_query(point)
+        found: List[int] = []
+        self._radius_search(self._root, query, radius, found)
+        return np.array(sorted(found), dtype=np.int64)
+
+    def _radius_search(self, node: _KDNode, query: np.ndarray, radius: float, found: List[int]) -> None:
+        if self._min_distance_to_box(node, query) > radius:
+            return
+        if node.is_leaf:
+            subset = self._points[node.indices]
+            distances = np.linalg.norm(subset - query, axis=1)
+            found.extend(node.indices[distances <= radius].tolist())
+            return
+        self._radius_search(node.left, query, radius, found)
+        self._radius_search(node.right, query, radius, found)
+
+    def query(self, point, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the distances and indices of the ``k`` nearest neighbours."""
+        if k < 1:
+            raise ValidationError("k must be at least 1")
+        if k > self.n_points:
+            raise ValidationError(f"k={k} exceeds the number of indexed points ({self.n_points})")
+        query = self._as_query(point)
+        # (distance, index) pairs of the best candidates found so far.
+        best: List[Tuple[float, int]] = []
+        self._knn_search(self._root, query, k, best)
+        best.sort()
+        distances = np.array([d for d, _ in best], dtype=np.float64)
+        indices = np.array([i for _, i in best], dtype=np.int64)
+        return distances, indices
+
+    def _knn_search(self, node: _KDNode, query: np.ndarray, k: int, best: List[Tuple[float, int]]) -> None:
+        worst = best[-1][0] if len(best) == k else np.inf
+        if self._min_distance_to_box(node, query) > worst:
+            return
+        if node.is_leaf:
+            subset = self._points[node.indices]
+            distances = np.linalg.norm(subset - query, axis=1)
+            for distance, index in zip(distances, node.indices):
+                if len(best) < k:
+                    best.append((float(distance), int(index)))
+                    best.sort()
+                elif distance < best[-1][0]:
+                    best[-1] = (float(distance), int(index))
+                    best.sort()
+            return
+        # Visit the child containing the query first for better pruning.
+        if query[node.axis] <= node.split_value:
+            first, second = node.left, node.right
+        else:
+            first, second = node.right, node.left
+        self._knn_search(first, query, k, best)
+        self._knn_search(second, query, k, best)
+
+    # -------------------------------------------------------------- helpers
+    def _as_query(self, point) -> np.ndarray:
+        query = np.asarray(point, dtype=np.float64).ravel()
+        if query.shape[0] != self.n_dims:
+            raise ValidationError(
+                f"Query point has {query.shape[0]} dimensions, tree holds {self.n_dims}"
+            )
+        if not np.all(np.isfinite(query)):
+            raise ValidationError("Query point contains NaN or infinite values")
+        return query
+
+    @staticmethod
+    def _min_distance_to_box(node: _KDNode, query: np.ndarray) -> float:
+        below = np.maximum(0.0, node.lower_bound - query)
+        above = np.maximum(0.0, query - node.upper_bound)
+        return float(np.linalg.norm(below + above))

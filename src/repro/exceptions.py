@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class when they only care about "something in the library
+failed" as opposed to a programming error such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied input fails validation.
+
+    Inherits from :class:`ValueError` so that generic callers that expect
+    ``ValueError`` for bad input keep working.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to converge and the caller
+    requested strict behaviour (``on_no_convergence="raise"``)."""
+
+
+class DatasetError(ReproError):
+    """Raised for problems constructing, loading, or registering datasets."""
+
+
+class ConstraintError(ReproError):
+    """Raised for invalid conformance-constraint construction or use."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration cannot be executed."""

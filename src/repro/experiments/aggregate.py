@@ -1,0 +1,94 @@
+"""Repeat evaluation cells over seeds and aggregate the metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import CellResult, evaluate_cell
+from repro.utils.random import spawn_seeds
+
+
+@dataclass(frozen=True)
+class AggregatedCell:
+    """Mean/std metrics of one (dataset, method, learner) cell over repeats."""
+
+    dataset: str
+    method: str
+    learner: str
+    n_repeats: int
+    di_star_mean: float
+    di_star_std: float
+    aod_star_mean: float
+    aod_star_std: float
+    balanced_accuracy_mean: float
+    balanced_accuracy_std: float
+    runtime_mean: float
+    degenerate_fraction: float
+    favors_minority_fraction: float
+
+    def to_row(self) -> Dict[str, object]:
+        """Row representation used by the figure tables."""
+        return {
+            "dataset": self.dataset,
+            "method": self.method,
+            "learner": self.learner,
+            "DI*": round(self.di_star_mean, 3),
+            "AOD*": round(self.aod_star_mean, 3),
+            "BalAcc": round(self.balanced_accuracy_mean, 3),
+            "runtime_s": round(self.runtime_mean, 3),
+            "degenerate": round(self.degenerate_fraction, 2),
+            "favors_minority": round(self.favors_minority_fraction, 2),
+        }
+
+
+def aggregate_cells(
+    dataset: str,
+    method: str,
+    *,
+    learner: str = "lr",
+    n_repeats: int = 3,
+    base_seed: int = 7,
+    size_factor: Optional[float] = 0.05,
+    **method_kwargs,
+) -> AggregatedCell:
+    """Evaluate one cell over ``n_repeats`` random splits and average.
+
+    The per-repeat seeds are derived deterministically from ``base_seed`` so
+    repeated invocations are reproducible.
+    """
+    seeds = spawn_seeds(base_seed, n_repeats)
+    results: List[CellResult] = [
+        evaluate_cell(
+            dataset,
+            method,
+            learner=learner,
+            seed=seed,
+            size_factor=size_factor,
+            **method_kwargs,
+        )
+        for seed in seeds
+    ]
+    di = np.array([r.report.di_star for r in results])
+    aod = np.array([r.report.aod_star for r in results])
+    bal = np.array([r.report.balanced_accuracy for r in results])
+    runtime = np.array([r.runtime_seconds for r in results])
+    degenerate = np.array([r.report.degenerate for r in results], dtype=float)
+    favors = np.array([r.report.favors_minority for r in results], dtype=float)
+    return AggregatedCell(
+        dataset=dataset,
+        method=method,
+        learner=learner,
+        n_repeats=n_repeats,
+        di_star_mean=float(di.mean()),
+        di_star_std=float(di.std()),
+        aod_star_mean=float(aod.mean()),
+        aod_star_std=float(aod.std()),
+        balanced_accuracy_mean=float(bal.mean()),
+        balanced_accuracy_std=float(bal.std()),
+        runtime_mean=float(runtime.mean()),
+        degenerate_fraction=float(degenerate.mean()),
+        favors_minority_fraction=float(favors.mean()),
+    )

@@ -1,0 +1,63 @@
+"""Shared driver for the method-comparison figures (Figs. 5, 6, 11, 12, 13, 14).
+
+Each of those figures is a grid of (dataset × learner × method) cells showing
+DI*, AOD*, and BalAcc (or runtime); :func:`run_comparison` evaluates the grid
+and packages it as a :class:`~repro.experiments.reporting.FigureResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.aggregate import aggregate_cells
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import FigureResult
+
+
+def run_comparison(
+    figure_id: str,
+    title: str,
+    methods: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    *,
+    method_kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+) -> FigureResult:
+    """Evaluate ``methods`` over the configured datasets and learners.
+
+    Parameters
+    ----------
+    figure_id, title:
+        Identification of the paper artifact being regenerated.
+    methods:
+        Method names in the order they should appear per dataset.
+    config:
+        Experiment configuration (datasets, learners, repeats, sizes).
+    method_kwargs:
+        Optional per-method keyword overrides passed to
+        :func:`repro.experiments.runner.run_method` (e.g. a fixed ``alpha_u``
+        or a ``calibration_learner``).
+    """
+    config = config or ExperimentConfig()
+    method_kwargs = method_kwargs or {}
+    result = FigureResult(figure_id=figure_id, title=title)
+    for learner in config.learners:
+        for dataset in config.datasets:
+            for method in methods:
+                extra = dict(method_kwargs.get(method, {}))
+                extra.setdefault("tuning_grid", config.tuning_grid)
+                extra.setdefault("lam_grid", config.lam_grid)
+                if method in ("none", "multimodel", "kam", "cap", "diffair", "diffair0"):
+                    # These methods take no tuning grids; drop them.
+                    extra.pop("tuning_grid", None)
+                    extra.pop("lam_grid", None)
+                cell = aggregate_cells(
+                    dataset,
+                    method,
+                    learner=learner,
+                    n_repeats=config.n_repeats,
+                    base_seed=config.base_seed,
+                    size_factor=config.size_factor,
+                    **extra,
+                )
+                result.rows.append(cell.to_row())
+    return result

@@ -1,0 +1,47 @@
+"""Fig. 2: qualitative comparison of ConFair with prior reweighing methods.
+
+The original figure is a static capability matrix; reproducing it amounts to
+recording, for each method, whether it is non-invasive with respect to the
+data and the model, whether it supports a flexible (user-tunable)
+intervention, and whether it allows intra-group weight variability.  The
+entries for the methods implemented in this library (CAP, KAM, OMN, ConFair)
+are also *checked against the implementations* by the accompanying benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import FigureResult
+
+_CAPABILITIES = [
+    # method, non-invasive wrt data, non-invasive wrt model, flexible, intra-group variability
+    ("DRO", True, False, False, True),
+    ("LAH", True, False, False, True),
+    ("CAP", False, True, False, False),
+    ("KAM", True, True, False, False),
+    ("OMN", True, True, True, False),
+    ("CONFAIR", True, True, True, True),
+]
+
+
+def run_figure02() -> FigureResult:
+    """Return the Fig. 2 capability matrix."""
+    result = FigureResult(
+        figure_id="figure02",
+        title="Comparison of reweighing interventions (capability matrix)",
+        notes=[
+            "DRO (Hashimoto et al. 2018) and LAH (Lahoti et al. 2020) adjust weights during "
+            "training and are listed for completeness; they are not implemented as baselines "
+            "because the paper's quantitative evaluation does not include them."
+        ],
+    )
+    for method, data_ni, model_ni, flexible, variability in _CAPABILITIES:
+        result.rows.append(
+            {
+                "method": method,
+                "non_invasive_wrt_data": data_ni,
+                "non_invasive_wrt_model": model_ni,
+                "flexible_intervention": flexible,
+                "intra_group_variability": variability,
+            }
+        )
+    return result

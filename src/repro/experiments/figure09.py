@@ -1,0 +1,13 @@
+"""Fig. 9: the intervention-degree sweep of Fig. 8 repeated on LSAC."""
+
+from __future__ import annotations
+
+from repro.experiments.figure08 import run_intervention_sweep
+from repro.experiments.reporting import FigureResult
+
+
+def run_figure09(**kwargs) -> FigureResult:
+    """Regenerate Fig. 9 (LSAC intervention sweep)."""
+    kwargs.setdefault("dataset", "lsac")
+    kwargs.setdefault("figure_id", "figure09")
+    return run_intervention_sweep(**kwargs)

@@ -1,0 +1,63 @@
+"""Text rendering of experiment results (the library's "figures")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+def render_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = ()) -> str:
+    """Render a list of dict rows as an aligned, pipe-separated text table."""
+    if not rows:
+        return "(no rows)"
+    headers = list(columns) if columns else list(rows[0].keys())
+    table = [[str(row.get(column, "")) for column in headers] for row in rows]
+    widths = [
+        max(len(header), *(len(line[i]) for line in table)) for i, header in enumerate(headers)
+    ]
+    lines = [
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for line in table:
+        lines.append(" | ".join(value.ljust(width) for value, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureResult:
+    """The regenerated content of one paper figure or table.
+
+    Attributes
+    ----------
+    figure_id:
+        Paper artifact identifier, e.g. ``"figure05"``.
+    title:
+        What the artifact shows.
+    rows:
+        Plain-dict rows (one per bar/point/line of the original figure).
+    notes:
+        Free-form commentary (e.g. which comparisons the paper highlights).
+    """
+
+    figure_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self, columns: Sequence[str] = ()) -> str:
+        """Render the figure as a text table preceded by its title."""
+        header = f"== {self.figure_id}: {self.title} =="
+        body = render_table(self.rows, columns)
+        parts = [header, body]
+        if self.notes:
+            parts.append("notes: " + "; ".join(self.notes))
+        return "\n".join(parts)
+
+    def filter_rows(self, **criteria) -> List[Dict[str, object]]:
+        """Return the rows matching all ``column=value`` criteria."""
+        selected = []
+        for row in self.rows:
+            if all(row.get(column) == value for column, value in criteria.items()):
+                selected.append(row)
+        return selected

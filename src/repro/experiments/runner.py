@@ -1,0 +1,202 @@
+"""Fit-and-evaluate a single (dataset, method, learner, seed) cell.
+
+Every figure of the paper is a composition of such cells.  The runner hides
+the differences between the method families:
+
+* reweighing methods (ConFair, KAM, OMN) produce per-tuple weights and train
+  the requested learner on the weighted training data;
+* model-splitting methods (DiffFair, MultiModel) train group-dependent models
+  and route deployment tuples;
+* CAP retrains the learner on its repaired dataset;
+* "none" trains the learner on the raw data.
+
+The cross-model experiment of Fig. 7 is supported through
+``calibration_learner``: the intervention's internal tuning uses one learner
+while the final model is trained with another.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines import (
+    CapuchinRepair,
+    KamiranReweighing,
+    MultiModel,
+    NoIntervention,
+    OmniFairReweighing,
+)
+from repro.core import ConFair, DiffFair
+from repro.datasets import DatasetSplit, load_dataset, split_dataset
+from repro.exceptions import ExperimentError
+from repro.fairness import FairnessReport, evaluate_predictions
+from repro.learners import make_learner
+
+METHOD_NAMES: Tuple[str, ...] = (
+    "none",
+    "multimodel",
+    "diffair",
+    "diffair0",
+    "confair",
+    "confair0",
+    "kam",
+    "omn",
+    "cap",
+)
+"""Method identifiers accepted by :func:`run_method`.
+
+``diffair0`` and ``confair0`` are the Fig. 13 ablation variants that skip the
+density-based CC optimization (Algorithm 3).
+"""
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one (dataset, method, learner, seed) evaluation."""
+
+    dataset: str
+    method: str
+    learner: str
+    seed: int
+    report: FairnessReport
+    runtime_seconds: float
+    details: Dict[str, object]
+
+
+def _predict_with_weights(split: DatasetSplit, weights: np.ndarray, learner: str, seed: int) -> np.ndarray:
+    """Train ``learner`` on the weighted training data and predict the deploy set."""
+    model = make_learner(learner, random_state=seed)
+    model.fit(split.train.X, split.train.y, sample_weight=weights)
+    return model.predict(split.deploy.X)
+
+
+def run_method(
+    method: str,
+    split: DatasetSplit,
+    *,
+    learner: str = "lr",
+    seed: int = 0,
+    tuning_grid: Tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0, 3.0),
+    lam_grid: Tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 1.5),
+    alpha_u: Optional[float] = None,
+    lam: Optional[float] = None,
+    calibration_learner: Optional[str] = None,
+    fairness_target: str = "di",
+) -> Tuple[np.ndarray, Dict[str, object]]:
+    """Fit ``method`` on the split and return deploy-set predictions.
+
+    Parameters
+    ----------
+    method:
+        One of :data:`METHOD_NAMES`.
+    split:
+        The train/validation/deploy partitions.
+    learner:
+        Learner used for the *final* model.
+    seed:
+        Random seed for the learners.
+    tuning_grid, lam_grid:
+        Grids for the automatic intervention-degree searches.
+    alpha_u, lam:
+        Explicit intervention degrees (skip the automatic search).
+    calibration_learner:
+        Learner used to calibrate reweighing interventions (defaults to
+        ``learner``); setting it differently reproduces the Fig. 7 transfer
+        experiment.
+    fairness_target:
+        ``"di"``, ``"fnr"``, or ``"fpr"`` for the reweighing interventions.
+
+    Returns
+    -------
+    (y_pred, details):
+        Deploy-set predictions and method-specific details (chosen degrees,
+        routing fractions, ...).
+    """
+    key = method.strip().lower()
+    calibration = calibration_learner or learner
+    details: Dict[str, object] = {}
+
+    if key == "none":
+        model = NoIntervention(learner=learner, random_state=seed).fit(split.train)
+        return model.predict(split.deploy.X), details
+
+    if key == "multimodel":
+        model = MultiModel(learner=learner, random_state=seed).fit(split.train)
+        return model.predict(split.deploy.X, split.deploy.group), details
+
+    if key in ("diffair", "diffair0"):
+        diffair = DiffFair(
+            learner=learner,
+            use_density_filter=(key == "diffair"),
+            random_state=seed,
+        ).fit(split.train, validation=split.validation)
+        predictions = diffair.predict(split.deploy.X)
+        routes = diffair.route(split.deploy.X)
+        details["minority_model_fraction"] = float(np.mean(routes == 1))
+        return predictions, details
+
+    if key in ("confair", "confair0"):
+        confair = ConFair(
+            alpha_u=alpha_u,
+            fairness_target=fairness_target,
+            use_density_filter=(key == "confair"),
+            learner=calibration,
+            tuning_grid=tuning_grid,
+            random_state=seed,
+        ).fit(split.train, validation=split.validation)
+        details["alpha_u"] = confair.alpha_u_
+        details["alpha_w"] = confair.alpha_w_
+        return _predict_with_weights(split, confair.weights_, learner, seed), details
+
+    if key == "kam":
+        kam = KamiranReweighing(learner=learner, random_state=seed).fit(split.train)
+        return _predict_with_weights(split, kam.weights_, learner, seed), details
+
+    if key == "omn":
+        omn = OmniFairReweighing(
+            lam=lam,
+            learner=calibration,
+            lam_grid=lam_grid,
+            fairness_target=fairness_target,
+            random_state=seed,
+        ).fit(split.train, validation=split.validation)
+        details["lambda"] = omn.lam_
+        return _predict_with_weights(split, omn.weights_, learner, seed), details
+
+    if key == "cap":
+        cap = CapuchinRepair(learner=learner, random_state=seed).fit(split.train)
+        model = cap.fit_learner(make_learner(learner, random_state=seed))
+        return model.predict(split.deploy.X), details
+
+    raise ExperimentError(f"Unknown method {method!r}; available methods: {METHOD_NAMES}")
+
+
+def evaluate_cell(
+    dataset: str,
+    method: str,
+    *,
+    learner: str = "lr",
+    seed: int = 0,
+    size_factor: Optional[float] = 0.05,
+    **method_kwargs,
+) -> CellResult:
+    """Load a dataset, split it, run one method, and evaluate the deploy set."""
+    data = load_dataset(dataset, size_factor=size_factor, random_state=seed)
+    split = split_dataset(data, random_state=seed)
+    start = time.perf_counter()
+    predictions, details = run_method(method, split, learner=learner, seed=seed, **method_kwargs)
+    elapsed = time.perf_counter() - start
+    report = evaluate_predictions(split.deploy.y, predictions, split.deploy.group)
+    return CellResult(
+        dataset=dataset,
+        method=method,
+        learner=learner,
+        seed=seed,
+        report=report,
+        runtime_seconds=elapsed,
+        details=details,
+    )

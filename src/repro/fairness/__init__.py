@@ -1,0 +1,34 @@
+"""Group-fairness metrics and reporting.
+
+The paper evaluates fairness with Disparate Impact (reported as
+``DI* = min(DI, 1/DI)``) and Average Odds Difference (reported as
+``AOD* = 1 - |AOD|``), plus Balanced Accuracy for utility.  This subpackage
+provides those metrics, the per-group rate primitives (selection rate, TPR,
+FPR, FNR), an Equalized-Odds view, and a :class:`FairnessReport` bundling all
+of them for one (dataset, model) evaluation.
+"""
+
+from repro.fairness.groups import GroupMapping, group_from_column, group_from_threshold
+from repro.fairness.metrics import (
+    average_odds_difference,
+    average_odds_star,
+    disparate_impact,
+    disparate_impact_star,
+    equalized_odds_difference,
+    group_rates,
+)
+from repro.fairness.report import FairnessReport, evaluate_predictions
+
+__all__ = [
+    "FairnessReport",
+    "GroupMapping",
+    "average_odds_difference",
+    "average_odds_star",
+    "disparate_impact",
+    "disparate_impact_star",
+    "equalized_odds_difference",
+    "evaluate_predictions",
+    "group_from_column",
+    "group_from_threshold",
+    "group_rates",
+]

@@ -1,0 +1,74 @@
+"""Group mapping functions.
+
+The paper assumes a user-specified binary mapping function ``g`` that assigns
+every tuple to the majority group ``W`` (0) or the minority group ``U`` (1).
+In the benchmark datasets the mapping is already materialized as the
+``Dataset.group`` column, but :class:`GroupMapping` lets callers define the
+mapping from raw attributes (a column equality test, a threshold, or any
+callable) — mirroring how ``g`` is a simple function over one or more
+attributes in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class GroupMapping:
+    """A binary mapping function ``g`` from feature rows to {0, 1}.
+
+    Parameters
+    ----------
+    function:
+        Callable taking the full feature matrix and returning an array of 0/1
+        group labels (1 = minority).
+    name:
+        Human-readable description of the mapping.
+    """
+
+    function: Callable[[np.ndarray], np.ndarray]
+    name: str = "g"
+
+    def __call__(self, X) -> np.ndarray:
+        values = np.asarray(self.function(np.asarray(X)))
+        values = values.ravel().astype(np.int64)
+        uniques = np.unique(values)
+        if not np.all(np.isin(uniques, (0, 1))):
+            raise ValidationError(
+                f"Group mapping {self.name!r} must return binary 0/1 values, got {uniques!r}"
+            )
+        return values
+
+
+def group_from_column(column_index: int, minority_values: Sequence, name: Optional[str] = None) -> GroupMapping:
+    """Map rows whose ``column_index`` value is in ``minority_values`` to the minority.
+
+    Useful for raw categorical attributes (e.g. race codes) before encoding.
+    """
+    minority_set = set(minority_values)
+    if not minority_set:
+        raise ValidationError("minority_values must not be empty")
+
+    def mapping(X: np.ndarray) -> np.ndarray:
+        column = X[:, column_index]
+        return np.array([1 if value in minority_set else 0 for value in column], dtype=np.int64)
+
+    return GroupMapping(mapping, name=name or f"column[{column_index}] in {sorted(map(repr, minority_set))}")
+
+
+def group_from_threshold(column_index: int, threshold: float, *, below_is_minority: bool = True, name: Optional[str] = None) -> GroupMapping:
+    """Map rows by thresholding a numeric column (e.g. ``age < 35`` for Credit)."""
+
+    def mapping(X: np.ndarray) -> np.ndarray:
+        column = X[:, column_index].astype(np.float64)
+        minority = column < threshold if below_is_minority else column >= threshold
+        return minority.astype(np.int64)
+
+    comparator = "<" if below_is_minority else ">="
+    return GroupMapping(mapping, name=name or f"column[{column_index}] {comparator} {threshold}")

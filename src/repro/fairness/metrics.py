@@ -1,0 +1,162 @@
+"""Group-fairness metrics.
+
+All metrics operate on ``(y_true, y_pred, group)`` triples where ``group`` is
+0 for the majority ``W`` and 1 for the minority ``U``.  Two reporting
+conventions from the paper are provided:
+
+* :func:`disparate_impact` returns the raw ratio ``SR_U / SR_W``;
+  :func:`disparate_impact_star` folds it to ``min(DI, 1/DI)`` so that higher
+  is always better (1 = parity).
+* :func:`average_odds_difference` returns the signed mean of the FPR and TPR
+  gaps; :func:`average_odds_star` reports ``1 - |AOD|`` (higher is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learners.metrics import (
+    false_negative_rate,
+    false_positive_rate,
+    selection_rate,
+    true_positive_rate,
+)
+from repro.utils.validation import check_consistent_length
+
+
+@dataclass(frozen=True)
+class GroupRates:
+    """Per-group prediction rates for one evaluation.
+
+    ``has_positives`` / ``has_negatives`` record whether the group contains
+    any positive / negative ground-truth labels; TPR/FNR (resp. FPR) are
+    undefined when it does not, and the between-group gap metrics treat an
+    undefined rate as contributing no gap.
+    """
+
+    selection_rate: float
+    tpr: float
+    fpr: float
+    fnr: float
+    n_samples: int
+    has_positives: bool = True
+    has_negatives: bool = True
+
+
+def _split_by_group(y_true, y_pred, group) -> Tuple[np.ndarray, ...]:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    group = np.asarray(group).ravel()
+    check_consistent_length(y_true, y_pred, group, names=("y_true", "y_pred", "group"))
+    if y_true.size == 0:
+        raise ValidationError("Fairness metrics need at least one sample")
+    majority = group == 0
+    minority = group == 1
+    if not majority.any() or not minority.any():
+        raise ValidationError("Both the majority (0) and the minority (1) group must be present")
+    return y_true, y_pred, majority, minority
+
+
+def group_rates(y_true, y_pred, group) -> Dict[str, GroupRates]:
+    """Return per-group selection rate, TPR, FPR, and FNR.
+
+    Keys are ``"majority"`` and ``"minority"``.
+    """
+    y_true, y_pred, majority, minority = _split_by_group(y_true, y_pred, group)
+    result: Dict[str, GroupRates] = {}
+    for key, mask in (("majority", majority), ("minority", minority)):
+        true_block, pred_block = y_true[mask], y_pred[mask]
+        result[key] = GroupRates(
+            selection_rate=selection_rate(pred_block),
+            tpr=true_positive_rate(true_block, pred_block),
+            fpr=false_positive_rate(true_block, pred_block),
+            fnr=false_negative_rate(true_block, pred_block),
+            n_samples=int(mask.sum()),
+            has_positives=bool(np.any(true_block == 1)),
+            has_negatives=bool(np.any(true_block == 0)),
+        )
+    return result
+
+
+def disparate_impact(y_true, y_pred, group) -> float:
+    """Raw Disparate Impact ``SR_U / SR_W`` (∞ when the majority rate is 0)."""
+    rates = group_rates(y_true, y_pred, group)
+    sr_minority = rates["minority"].selection_rate
+    sr_majority = rates["majority"].selection_rate
+    if sr_majority == 0.0:
+        return float("inf") if sr_minority > 0 else 1.0
+    return sr_minority / sr_majority
+
+
+def disparate_impact_star(y_true, y_pred, group) -> float:
+    """Folded Disparate Impact ``min(DI, 1/DI)`` in ``[0, 1]`` — higher is fairer."""
+    di = disparate_impact(y_true, y_pred, group)
+    if di == 0.0 or np.isinf(di):
+        return 0.0
+    return float(min(di, 1.0 / di))
+
+
+def favors_minority(y_true, y_pred, group) -> bool:
+    """True when the minority's selection rate exceeds the majority's.
+
+    The paper marks such outcomes with striped bars: bias in favour of the
+    minority, which can be acceptable in historically-disadvantaged settings.
+    """
+    return disparate_impact(y_true, y_pred, group) > 1.0
+
+
+def average_odds_difference(y_true, y_pred, group) -> float:
+    """Signed Average Odds Difference ``((FPR_U-FPR_W) + (TPR_U-TPR_W)) / 2``.
+
+    A rate that is undefined for either group (no positives for TPR, no
+    negatives for FPR) contributes a zero gap rather than a spurious maximal
+    one.
+    """
+    rates = group_rates(y_true, y_pred, group)
+    minority, majority = rates["minority"], rates["majority"]
+    fpr_gap = (
+        minority.fpr - majority.fpr
+        if minority.has_negatives and majority.has_negatives
+        else 0.0
+    )
+    tpr_gap = (
+        minority.tpr - majority.tpr
+        if minority.has_positives and majority.has_positives
+        else 0.0
+    )
+    return float((fpr_gap + tpr_gap) / 2.0)
+
+
+def average_odds_star(y_true, y_pred, group) -> float:
+    """Reported AOD ``1 - |AOD|`` in ``[0, 1]`` — higher is fairer."""
+    return float(1.0 - abs(average_odds_difference(y_true, y_pred, group)))
+
+
+def equalized_odds_difference(y_true, y_pred, group, *, rate: str = "fnr") -> float:
+    """Absolute between-group gap in FNR or FPR (the Equalized-Odds components).
+
+    Parameters
+    ----------
+    rate:
+        ``"fnr"`` (paper's Equalized Odds by FNR), ``"fpr"``, or ``"tpr"``.
+    """
+    rates = group_rates(y_true, y_pred, group)
+    if rate not in ("fnr", "fpr", "tpr"):
+        raise ValidationError("rate must be 'fnr', 'fpr', or 'tpr'")
+    minority, majority = rates["minority"], rates["majority"]
+    needs_positives = rate in ("fnr", "tpr")
+    if needs_positives and not (minority.has_positives and majority.has_positives):
+        return 0.0
+    if rate == "fpr" and not (minority.has_negatives and majority.has_negatives):
+        return 0.0
+    return float(abs(getattr(minority, rate) - getattr(majority, rate)))
+
+
+def statistical_parity_difference(y_true, y_pred, group) -> float:
+    """Selection-rate gap ``SR_U - SR_W`` (signed)."""
+    rates = group_rates(y_true, y_pred, group)
+    return float(rates["minority"].selection_rate - rates["majority"].selection_rate)

@@ -1,0 +1,78 @@
+"""Bundled fairness + utility evaluation of a set of predictions."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.fairness.metrics import (
+    average_odds_difference,
+    average_odds_star,
+    disparate_impact,
+    disparate_impact_star,
+    equalized_odds_difference,
+    favors_minority,
+    group_rates,
+)
+from repro.learners.metrics import accuracy_score, balanced_accuracy_score
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """All metrics the paper reports for one (dataset, model) evaluation.
+
+    ``di_star`` and ``aod_star`` follow the paper's reporting convention
+    (higher is better, 1 is parity); ``balanced_accuracy`` is the utility
+    metric.  ``degenerate`` flags models that predict a single class —
+    the paper marks those with crisscross bars as "useless predictions".
+    """
+
+    di: float
+    di_star: float
+    aod: float
+    aod_star: float
+    balanced_accuracy: float
+    accuracy: float
+    eq_odds_fnr: float
+    eq_odds_fpr: float
+    selection_rate_minority: float
+    selection_rate_majority: float
+    favors_minority: bool
+    degenerate: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return the report as a plain dictionary (for tables and JSON)."""
+        return asdict(self)
+
+
+def evaluate_predictions(y_true, y_pred, group) -> FairnessReport:
+    """Compute a :class:`FairnessReport` for binary predictions.
+
+    Parameters
+    ----------
+    y_true:
+        Ground-truth binary labels.
+    y_pred:
+        Model predictions (binary).
+    group:
+        Group membership (0 = majority, 1 = minority).
+    """
+    y_pred_arr = np.asarray(y_pred).ravel()
+    rates = group_rates(y_true, y_pred, group)
+    single_class = np.unique(y_pred_arr).size < 2
+    return FairnessReport(
+        di=disparate_impact(y_true, y_pred, group),
+        di_star=disparate_impact_star(y_true, y_pred, group),
+        aod=average_odds_difference(y_true, y_pred, group),
+        aod_star=average_odds_star(y_true, y_pred, group),
+        balanced_accuracy=balanced_accuracy_score(y_true, y_pred),
+        accuracy=accuracy_score(y_true, y_pred),
+        eq_odds_fnr=equalized_odds_difference(y_true, y_pred, group, rate="fnr"),
+        eq_odds_fpr=equalized_odds_difference(y_true, y_pred, group, rate="fpr"),
+        selection_rate_minority=rates["minority"].selection_rate,
+        selection_rate_majority=rates["majority"].selection_rate,
+        favors_minority=favors_minority(y_true, y_pred, group),
+        degenerate=single_class,
+    )

@@ -1,0 +1,104 @@
+"""Estimator base classes and the ``clone`` helper.
+
+The fairness interventions in :mod:`repro.core` are deliberately
+*model-agnostic*: they only rely on the small protocol defined here —
+construct with keyword hyper-parameters, ``fit(X, y, sample_weight=None)``,
+``predict`` and (for classifiers) ``predict_proba``.  Keeping the protocol
+explicit makes it easy to plug in alternative learners.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+
+class BaseEstimator:
+    """Minimal estimator base: hyper-parameter introspection and cloning.
+
+    Subclasses must store every constructor argument on ``self`` under the
+    same name (the usual scikit-learn convention), which is what makes
+    :meth:`get_params` and :func:`clone` work without any per-class code.
+    """
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return constructor hyper-parameters as a dict."""
+        signature = inspect.signature(type(self).__init__)
+        names = [
+            name
+            for name, param in signature.parameters.items()
+            if name != "self" and param.kind not in (param.VAR_POSITIONAL, param.VAR_KEYWORD)
+        ]
+        return {name: getattr(self, name) for name in names}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyper-parameters in place and return ``self``."""
+        valid = self.get_params()
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"Invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters are {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def _check_fitted(self, attribute: str) -> None:
+        """Raise :class:`NotFittedError` unless ``attribute`` exists."""
+        if not hasattr(self, attribute):
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted yet; call fit() before using it"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+class BaseClassifier(BaseEstimator):
+    """Protocol for binary classifiers used throughout the library."""
+
+    def fit(self, X, y, sample_weight: Optional[np.ndarray] = None) -> "BaseClassifier":
+        raise NotImplementedError
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return an ``(n_samples, 2)`` array of class probabilities."""
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        """Return hard 0/1 predictions (argmax of :meth:`predict_proba`)."""
+        proba = self.predict_proba(X)
+        return (proba[:, 1] >= 0.5).astype(np.int64)
+
+    def score(self, X, y) -> float:
+        """Plain accuracy of :meth:`predict` against ``y``."""
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == y))
+
+
+class BaseTransformer(BaseEstimator):
+    """Protocol for feature transformers (scalers, encoders)."""
+
+    def fit(self, X) -> "BaseTransformer":
+        raise NotImplementedError
+
+    def transform(self, X) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of ``estimator`` with identical hyper-parameters.
+
+    Hyper-parameter values are deep-copied so the clone never shares mutable
+    state (e.g. a parameter grid list) with the original.
+    """
+    params = copy.deepcopy(estimator.get_params())
+    return type(estimator)(**params)

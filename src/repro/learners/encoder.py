@@ -1,0 +1,87 @@
+"""One-hot encoding of categorical columns.
+
+The experimental pipeline one-hot encodes categorical attributes before
+training, mirroring the paper's preprocessing.  The encoder accepts arbitrary
+hashable category values (strings, ints) stored in an object array.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learners.base import BaseTransformer
+
+
+class OneHotEncoder(BaseTransformer):
+    """Encode categorical columns as 0/1 indicator columns.
+
+    Parameters
+    ----------
+    handle_unknown:
+        ``"ignore"`` encodes unseen categories as all-zero rows (the default,
+        matching how serving data is handled in the experiments);
+        ``"error"`` raises :class:`ValidationError` instead.
+
+    Attributes
+    ----------
+    categories_:
+        One sorted array of category values per input column.
+    feature_names_:
+        Output feature names in ``col{i}={value}`` form.
+    """
+
+    def __init__(self, handle_unknown: str = "ignore") -> None:
+        if handle_unknown not in ("ignore", "error"):
+            raise ValueError("handle_unknown must be 'ignore' or 'error'")
+        self.handle_unknown = handle_unknown
+
+    def fit(self, X) -> "OneHotEncoder":
+        X = self._as_object_2d(X)
+        self.categories_: List[np.ndarray] = [
+            np.array(sorted(set(X[:, j].tolist()), key=repr), dtype=object)
+            for j in range(X.shape[1])
+        ]
+        self.n_features_ = X.shape[1]
+        self.feature_names_ = [
+            f"col{j}={value}" for j, cats in enumerate(self.categories_) for value in cats
+        ]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("categories_")
+        X = self._as_object_2d(X)
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(
+                f"X has {X.shape[1]} columns, encoder was fitted with {self.n_features_}"
+            )
+        blocks = []
+        for j, categories in enumerate(self.categories_):
+            index = {value: i for i, value in enumerate(categories.tolist())}
+            block = np.zeros((X.shape[0], len(categories)), dtype=np.float64)
+            for row, value in enumerate(X[:, j].tolist()):
+                position = index.get(value)
+                if position is None:
+                    if self.handle_unknown == "error":
+                        raise ValidationError(
+                            f"Unknown category {value!r} in column {j} during transform"
+                        )
+                    continue
+                block[row, position] = 1.0
+            blocks.append(block)
+        if not blocks:
+            return np.zeros((X.shape[0], 0), dtype=np.float64)
+        return np.hstack(blocks)
+
+    @staticmethod
+    def _as_object_2d(X) -> np.ndarray:
+        arr = np.asarray(X, dtype=object)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ValidationError(f"X must be 2-dimensional, got shape {arr.shape}")
+        if arr.shape[0] == 0:
+            raise ValidationError("X must not be empty")
+        return arr

@@ -1,0 +1,192 @@
+"""Data splitting and hyper-parameter search substrate.
+
+The paper splits data 70/15/15 into training/validation/deploy sets, tunes
+hyper-parameters on the validation set, and evaluates on the deploy set.
+:func:`train_test_split` and :class:`GridSearch` provide those two pieces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learners.base import BaseClassifier, clone
+from repro.learners.metrics import balanced_accuracy_score
+from repro.utils.random import check_random_state
+
+
+def train_test_split(
+    *arrays,
+    test_size: float = 0.25,
+    random_state=None,
+    stratify: Optional[np.ndarray] = None,
+) -> List[np.ndarray]:
+    """Split any number of equally-long arrays into train/test partitions.
+
+    Parameters
+    ----------
+    arrays:
+        One or more arrays sharing the same first dimension.
+    test_size:
+        Fraction of samples assigned to the test partition (0 < test_size < 1).
+    random_state:
+        Seed or generator controlling the shuffle.
+    stratify:
+        Optional label array; when given, the class proportions are preserved
+        in both partitions.
+
+    Returns
+    -------
+    list
+        ``[a_train, a_test, b_train, b_test, ...]`` in the order of ``arrays``.
+    """
+    if not arrays:
+        raise ValidationError("train_test_split requires at least one array")
+    if not 0.0 < test_size < 1.0:
+        raise ValidationError("test_size must be strictly between 0 and 1")
+    lengths = {len(a) for a in arrays}
+    if len(lengths) != 1:
+        raise ValidationError(f"All arrays must share the same length, got {sorted(lengths)}")
+    n_samples = lengths.pop()
+    if n_samples < 2:
+        raise ValidationError("Need at least 2 samples to split")
+
+    rng = check_random_state(random_state)
+    n_test = max(1, int(round(test_size * n_samples)))
+    n_test = min(n_test, n_samples - 1)
+
+    if stratify is not None:
+        labels = np.asarray(stratify).ravel()
+        if labels.shape[0] != n_samples:
+            raise ValidationError("stratify must have the same length as the arrays")
+        test_indices: List[int] = []
+        for value in np.unique(labels):
+            class_indices = np.flatnonzero(labels == value)
+            rng.shuffle(class_indices)
+            class_test = int(round(test_size * class_indices.size))
+            class_test = min(max(class_test, 0), class_indices.size)
+            test_indices.extend(class_indices[:class_test].tolist())
+        test_index = np.array(sorted(test_indices), dtype=np.int64)
+        if test_index.size == 0:
+            test_index = np.array([int(rng.integers(0, n_samples))])
+        if test_index.size == n_samples:
+            test_index = test_index[:-1]
+    else:
+        permutation = rng.permutation(n_samples)
+        test_index = np.sort(permutation[:n_test])
+
+    test_mask = np.zeros(n_samples, dtype=bool)
+    test_mask[test_index] = True
+
+    result: List[np.ndarray] = []
+    for array in arrays:
+        array = np.asarray(array)
+        result.append(array[~test_mask])
+        result.append(array[test_mask])
+    return result
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of one hyper-parameter configuration evaluated by :class:`GridSearch`."""
+
+    params: Dict[str, object]
+    score: float
+
+
+@dataclass
+class GridSearch:
+    """Exhaustive hyper-parameter search scored on a held-out validation set.
+
+    Parameters
+    ----------
+    estimator:
+        Prototype classifier; cloned for every configuration.
+    param_grid:
+        Mapping of parameter name to list of candidate values.
+    scorer:
+        ``scorer(y_true, y_pred) -> float`` — higher is better.  Defaults to
+        balanced accuracy, matching the paper's utility metric.
+    """
+
+    estimator: BaseClassifier
+    param_grid: Dict[str, Sequence]
+    scorer: Callable[[np.ndarray, np.ndarray], float] = balanced_accuracy_score
+    results_: List[GridSearchResult] = field(default_factory=list, init=False)
+
+    def fit(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_val: np.ndarray,
+        y_val: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "GridSearch":
+        """Evaluate every configuration; keep the best refit on the training data."""
+        if not self.param_grid:
+            combinations: List[Dict[str, object]] = [{}]
+        else:
+            names = sorted(self.param_grid)
+            combinations = [
+                dict(zip(names, values))
+                for values in itertools.product(*(self.param_grid[name] for name in names))
+            ]
+
+        self.results_ = []
+        best_score = -np.inf
+        best_model: Optional[BaseClassifier] = None
+        best_params: Dict[str, object] = {}
+        for params in combinations:
+            model = clone(self.estimator).set_params(**params)
+            model.fit(X_train, y_train, sample_weight=sample_weight)
+            score = float(self.scorer(y_val, model.predict(X_val)))
+            self.results_.append(GridSearchResult(params=params, score=score))
+            if score > best_score:
+                best_score = score
+                best_model = model
+                best_params = params
+
+        if best_model is None:  # pragma: no cover - defensive, grid is never empty
+            raise ValidationError("GridSearch evaluated no configurations")
+        self.best_estimator_ = best_model
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict with the best estimator found by :meth:`fit`."""
+        if not hasattr(self, "best_estimator_"):
+            raise ValidationError("GridSearch is not fitted yet")
+        return self.best_estimator_.predict(X)
+
+
+def three_way_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    group: np.ndarray,
+    *,
+    validation_size: float = 0.15,
+    test_size: float = 0.15,
+    random_state=None,
+) -> Tuple[np.ndarray, ...]:
+    """Split ``(X, y, group)`` into train/validation/deploy partitions.
+
+    Matches the paper's 70/15/15 protocol (sizes are configurable).  Returns
+    ``(X_tr, X_va, X_te, y_tr, y_va, y_te, g_tr, g_va, g_te)``.
+    """
+    if validation_size + test_size >= 1.0:
+        raise ValidationError("validation_size + test_size must be < 1")
+    rng = check_random_state(random_state)
+    holdout = validation_size + test_size
+    X_tr, X_hold, y_tr, y_hold, g_tr, g_hold = train_test_split(
+        X, y, group, test_size=holdout, random_state=rng, stratify=y
+    )
+    relative_test = test_size / holdout
+    X_va, X_te, y_va, y_te, g_va, g_te = train_test_split(
+        X_hold, y_hold, g_hold, test_size=relative_test, random_state=rng, stratify=y_hold
+    )
+    return X_tr, X_va, X_te, y_tr, y_va, y_te, g_tr, g_va, g_te

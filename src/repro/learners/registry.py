@@ -1,0 +1,54 @@
+"""Learner registry: map the paper's learner names ("LR", "XGB") to estimators.
+
+The experiment runners and benchmarks refer to learners by short string names,
+mirroring the paper's figures.  :func:`make_learner` builds a fresh, unfitted
+estimator for a name, optionally overriding hyper-parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ValidationError
+from repro.learners.base import BaseClassifier
+from repro.learners.boosting import GradientBoostingClassifier
+from repro.learners.logistic import LogisticRegressionClassifier
+from repro.learners.tree import DecisionTreeClassifier
+
+_FACTORIES: Dict[str, Callable[..., BaseClassifier]] = {
+    "lr": LogisticRegressionClassifier,
+    "xgb": GradientBoostingClassifier,
+    "tree": DecisionTreeClassifier,
+}
+
+_DEFAULTS: Dict[str, Dict[str, object]] = {
+    "lr": {"max_iter": 200, "l2": 1e-3},
+    "xgb": {"n_estimators": 30, "max_depth": 3, "learning_rate": 0.2},
+    "tree": {"max_depth": 5},
+}
+
+
+def available_learners() -> List[str]:
+    """Return the registered learner names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def make_learner(name: str, **overrides) -> BaseClassifier:
+    """Instantiate an unfitted learner by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_learners` (case-insensitive); ``"LR"`` and
+        ``"XGB"`` are the two learners evaluated in the paper.
+    overrides:
+        Hyper-parameters overriding the registry defaults.
+    """
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise ValidationError(
+            f"Unknown learner {name!r}; available learners are {available_learners()}"
+        )
+    params = dict(_DEFAULTS.get(key, {}))
+    params.update(overrides)
+    return _FACTORIES[key](**params)

@@ -1,0 +1,94 @@
+"""Feature scalers used in the experimental preprocessing pipeline.
+
+The paper normalizes numerical attributes before training; these scalers
+reproduce that step without scikit-learn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learners.base import BaseTransformer
+from repro.utils.validation import check_array
+
+
+class StandardScaler(BaseTransformer):
+    """Standardize features to zero mean and unit variance.
+
+    Constant columns (zero variance) are shifted to zero but left unscaled so
+    that the transform never divides by zero.
+
+    Attributes
+    ----------
+    mean_ : per-feature training means.
+    scale_ : per-feature training standard deviations (1.0 for constants).
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X, name="X")
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted with {self.n_features_}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Map standardized values back to the original units."""
+        self._check_fitted("mean_")
+        X = check_array(X, name="X")
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseTransformer):
+    """Scale features to the ``[0, 1]`` range observed on the training data.
+
+    Constant columns map to 0.  Values outside the training range are allowed
+    (and map outside ``[0, 1]``) unless ``clip=True``.
+    """
+
+    def __init__(self, clip: bool = False) -> None:
+        self.clip = clip
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_array(X, name="X")
+        self.min_ = X.min(axis=0)
+        data_range = X.max(axis=0) - self.min_
+        data_range[data_range == 0.0] = 1.0
+        self.range_ = data_range
+        self.n_features_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("min_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted with {self.n_features_}"
+            )
+        scaled = (X - self.min_) / self.range_
+        if self.clip:
+            scaled = np.clip(scaled, 0.0, 1.0)
+        return scaled
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Map scaled values back to the original units."""
+        self._check_fitted("min_")
+        X = check_array(X, name="X")
+        return X * self.range_ + self.min_

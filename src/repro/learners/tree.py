@@ -1,0 +1,265 @@
+"""Depth-limited CART trees with per-sample weights.
+
+Two public estimators live here:
+
+* :class:`DecisionTreeRegressor` — weighted squared-error regression tree,
+  the building block of :class:`repro.learners.boosting.GradientBoostingClassifier`.
+* :class:`DecisionTreeClassifier` — a thin classification wrapper fitting a
+  regression tree on 0/1 labels and thresholding the predicted mean.
+
+Split search is exact over a bounded number of candidate thresholds per
+feature (quantile-based when a feature has many distinct values), which keeps
+tree construction fast enough for the benchmark datasets while behaving like
+an ordinary CART tree on small data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.learners.base import BaseClassifier, BaseEstimator
+from repro.utils.validation import check_array, check_sample_weight, check_X_y
+
+
+@dataclass
+class _TreeNode:
+    """A single node of a fitted tree (internal or leaf)."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+    n_samples: int = 0
+    depth: int = 0
+    children: List["_TreeNode"] = field(default_factory=list, repr=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _weighted_mean(values: np.ndarray, weights: np.ndarray) -> float:
+    total = weights.sum()
+    if total <= 0:
+        return float(values.mean()) if values.size else 0.0
+    return float(np.dot(values, weights) / total)
+
+
+class DecisionTreeRegressor(BaseEstimator):
+    """Weighted squared-error regression tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (the root is depth 0).
+    min_samples_split:
+        Minimum number of samples required to consider splitting a node.
+    min_samples_leaf:
+        Minimum number of samples in each child produced by a split.
+    max_candidate_thresholds:
+        Optional cap on the number of candidate split positions evaluated per
+        feature.  ``None`` (default) evaluates every boundary between
+        distinct values (exact CART behaviour); the gradient-boosting learner
+        passes a small cap for speed.
+    min_impurity_decrease:
+        Minimum reduction in weighted squared error required to accept a split.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_candidate_thresholds: Optional[int] = None,
+        min_impurity_decrease: float = 0.0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_candidate_thresholds = max_candidate_thresholds
+        self.min_impurity_decrease = min_impurity_decrease
+
+    def fit(self, X, y, sample_weight: Optional[np.ndarray] = None) -> "DecisionTreeRegressor":
+        """Grow the tree on ``(X, y)`` with optional per-sample weights."""
+        X, y = check_X_y(X, y)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        weights = check_sample_weight(sample_weight, X.shape[0])
+        self.n_features_ = X.shape[1]
+        self.root_ = self._build(X, y, weights, depth=0)
+        return self
+
+    # ------------------------------------------------------------------ fit
+    def _build(self, X: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(
+            prediction=_weighted_mean(y, w), n_samples=int(X.shape[0]), depth=depth
+        )
+        if (
+            depth >= self.max_depth
+            or X.shape[0] < self.min_samples_split
+            or np.allclose(y, y[0])
+        ):
+            return node
+
+        split = self._best_split(X, y, w)
+        if split is None:
+            return node
+
+        feature, threshold = split
+        left_mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[left_mask], y[left_mask], w[left_mask], depth + 1)
+        node.right = self._build(X[~left_mask], y[~left_mask], w[~left_mask], depth + 1)
+        node.children = [node.left, node.right]
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray, w: np.ndarray):
+        """Search the (feature, threshold) pair minimizing weighted SSE.
+
+        For each feature the column is sorted once and every split position is
+        evaluated simultaneously through prefix sums of ``w``, ``w*y``, and
+        ``w*y**2`` — the weighted SSE of a child is
+        ``sum(w*y^2) - sum(w*y)^2 / sum(w)``.
+        """
+        n_samples = X.shape[0]
+        total_weight = float(w.sum())
+        parent_sse = float(np.dot(w, (y - _weighted_mean(y, w)) ** 2))
+        best = None
+        best_gain = self.min_impurity_decrease
+        wy = w * y
+        wyy = wy * y
+
+        for feature in range(X.shape[1]):
+            column = X[:, feature]
+            order = np.argsort(column, kind="mergesort")
+            sorted_column = column[order]
+            # Valid split positions: boundaries between distinct consecutive values.
+            boundaries = np.flatnonzero(sorted_column[:-1] < sorted_column[1:])
+            if boundaries.size == 0:
+                continue
+            cap = self.max_candidate_thresholds
+            if cap is not None and boundaries.size > cap:
+                picks = np.linspace(0, boundaries.size - 1, cap)
+                boundaries = boundaries[np.unique(picks.astype(int))]
+
+            cum_w = np.cumsum(w[order])
+            cum_wy = np.cumsum(wy[order])
+            cum_wyy = np.cumsum(wyy[order])
+
+            n_left = boundaries + 1
+            n_right = n_samples - n_left
+            valid = (n_left >= self.min_samples_leaf) & (n_right >= self.min_samples_leaf)
+            if not valid.any():
+                continue
+            boundaries = boundaries[valid]
+            n_left = n_left[valid]
+
+            w_left = cum_w[boundaries]
+            w_right = total_weight - w_left
+            usable = (w_left > 0) & (w_right > 0)
+            if not usable.any():
+                continue
+            boundaries = boundaries[usable]
+            w_left, w_right = w_left[usable], w_right[usable]
+
+            wy_left = cum_wy[boundaries]
+            wy_right = cum_wy[-1] - wy_left
+            wyy_left = cum_wyy[boundaries]
+            wyy_right = cum_wyy[-1] - wyy_left
+            sse_left = wyy_left - wy_left**2 / w_left
+            sse_right = wyy_right - wy_right**2 / w_right
+            gains = (parent_sse - sse_left - sse_right) / max(total_weight, 1e-12)
+
+            best_index = int(np.argmax(gains))
+            if gains[best_index] > best_gain:
+                best_gain = float(gains[best_index])
+                position = boundaries[best_index]
+                threshold = (sorted_column[position] + sorted_column[position + 1]) / 2.0
+                best = (feature, float(threshold))
+        return best
+
+    # -------------------------------------------------------------- predict
+    def predict(self, X) -> np.ndarray:
+        """Return the leaf means for every row of ``X``."""
+        self._check_fitted("root_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, tree was fitted with {self.n_features_}"
+            )
+        return np.array([self._predict_row(row) for row in X], dtype=np.float64)
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def depth_(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted("root_")
+
+        def depth_of(node: _TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth_of(node.left), depth_of(node.right))
+
+        return depth_of(self.root_)
+
+    @property
+    def n_leaves_(self) -> int:
+        """Number of leaves in the fitted tree."""
+        self._check_fitted("root_")
+
+        def count(node: _TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        return count(self.root_)
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """Binary classification tree built on :class:`DecisionTreeRegressor`.
+
+    The tree is fitted against 0/1 labels under weighted squared error, so a
+    leaf's prediction is the (weighted) positive rate of its training samples;
+    that value is used directly as the positive-class probability.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 5,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_candidate_thresholds: Optional[int] = 64,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_candidate_thresholds = max_candidate_thresholds
+
+    def fit(self, X, y, sample_weight: Optional[np.ndarray] = None) -> "DecisionTreeClassifier":
+        from repro.utils.validation import check_binary_labels
+
+        X, y = check_X_y(X, y)
+        y = check_binary_labels(y)
+        self._tree = DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_candidate_thresholds=self.max_candidate_thresholds,
+        ).fit(X, y.astype(np.float64), sample_weight)
+        self.classes_ = np.array([0, 1])
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("_tree")
+        positive = np.clip(self._tree.predict(X), 0.0, 1.0)
+        return np.column_stack([1.0 - positive, positive])

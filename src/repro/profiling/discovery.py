@@ -1,0 +1,134 @@
+"""Constraint discovery: learn a :class:`ConstraintSet` from a data partition.
+
+For every candidate projection (simple attributes + principal directions of
+the covariance matrix), the discovered bounds are ``mean ± bound_factor·std``
+of the projection on the partition, which is how Fariha et al. summarize the
+densest region of the data along each direction.  Projections whose relative
+standard deviation is too large are dropped (they would yield permissive,
+useless constraints); if that filter removes everything, the tightest
+projections are kept as a fallback so a partition always yields a profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConstraintError
+from repro.profiling.constraints import ConformanceConstraint, ConstraintSet
+from repro.profiling.projections import discover_projections
+from repro.utils.validation import check_array
+
+
+@dataclass(frozen=True)
+class DiscoveryConfig:
+    """Hyper-parameters of constraint discovery.
+
+    Parameters
+    ----------
+    bound_factor:
+        Half-width of the learned bounds in units of the projection's
+        standard deviation (``mean ± bound_factor·std``).
+    include_simple, include_pca:
+        Which families of candidate projections to generate.
+    max_pca_components:
+        Optional cap on the number of principal directions.
+    max_relative_std:
+        Keep only projections whose standard deviation is at most this
+        fraction of the largest candidate standard deviation; values below
+        1.0 drop high-variance directions that have little discriminative
+        power.  The default keeps every projection (the per-constraint
+        importance weights already down-weight the high-variance ones), which
+        is important for near-isotropic partitions where all directions have
+        similar spread.
+    min_constraints:
+        Always keep at least this many (tightest) constraints even if the
+        relative-std filter would remove them.
+    """
+
+    bound_factor: float = 1.5
+    include_simple: bool = True
+    include_pca: bool = True
+    max_pca_components: Optional[int] = None
+    max_relative_std: float = 1.0
+    min_constraints: int = 2
+
+    def __post_init__(self) -> None:
+        if self.bound_factor <= 0:
+            raise ConstraintError("bound_factor must be positive")
+        if not 0.0 < self.max_relative_std <= 1.0:
+            raise ConstraintError("max_relative_std must be in (0, 1]")
+        if self.min_constraints < 1:
+            raise ConstraintError("min_constraints must be at least 1")
+
+
+def discover_constraints(
+    X,
+    *,
+    config: Optional[DiscoveryConfig] = None,
+    label: str = "",
+) -> ConstraintSet:
+    """Learn a :class:`ConstraintSet` describing the densest region of ``X``.
+
+    Parameters
+    ----------
+    X:
+        Numerical attribute matrix of the partition to profile (e.g. the
+        minority-positive partition of the training data).
+    config:
+        Discovery hyper-parameters; defaults to :class:`DiscoveryConfig`.
+    label:
+        Optional label attached to the resulting set (used in reports).
+
+    Returns
+    -------
+    ConstraintSet
+        One constraint per retained projection, with importance weights
+        derived from the projections' standard deviations.
+    """
+    config = config or DiscoveryConfig()
+    X = check_array(X, name="X")
+    if X.shape[0] < 2:
+        raise ConstraintError(
+            "Constraint discovery needs at least 2 tuples in the profiled partition"
+        )
+
+    bundle = discover_projections(
+        X,
+        include_simple=config.include_simple,
+        include_pca=config.include_pca,
+        max_pca_components=config.max_pca_components,
+    )
+    if len(bundle) == 0:
+        raise ConstraintError("No candidate projections could be generated")
+
+    candidates = []
+    for projection in bundle.projections:
+        values = projection.evaluate(X)
+        std = float(values.std())
+        mean = float(values.mean())
+        half_width = config.bound_factor * std
+        constraint = ConformanceConstraint(
+            projection=projection,
+            lower=mean - half_width,
+            upper=mean + half_width,
+            std=std,
+        )
+        candidates.append(constraint)
+
+    stds = np.array([c.std for c in candidates], dtype=np.float64)
+    max_std = stds.max()
+    if max_std <= 0:
+        # All projections are constant on this partition: every candidate is
+        # perfectly tight, keep them all.
+        retained = candidates
+    else:
+        keep_mask = stds <= config.max_relative_std * max_std
+        retained = [c for c, keep in zip(candidates, keep_mask) if keep]
+        if len(retained) < config.min_constraints:
+            order = np.argsort(stds)
+            retained = [candidates[i] for i in order[: config.min_constraints]]
+
+    return ConstraintSet(constraints=retained, label=label)

@@ -1,0 +1,144 @@
+"""Linear projections of numerical attributes.
+
+A conformance constraint bounds the value of a *projection*
+``F(X) = sum_j c_j * X_j``.  Following Fariha et al., good projections are
+directions along which the profiled data has *low variance* — the data is
+tightly concentrated there, so a bound on the projection has high
+discriminative power.  Discovery therefore returns:
+
+* the "simple" single-attribute projections (one per column), and
+* the principal directions of the attribute covariance matrix (all of them;
+  the low-variance ones receive the highest importance later on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConstraintError
+from repro.utils.validation import check_array
+
+
+@dataclass(frozen=True)
+class Projection:
+    """A linear combination of numerical attributes.
+
+    Parameters
+    ----------
+    coefficients:
+        One coefficient per attribute column.
+    name:
+        Human-readable label used in reports (e.g. ``"X3"`` or ``"pc2"``).
+    kind:
+        ``"simple"`` for single-attribute projections, ``"pca"`` for principal
+        directions of the covariance matrix.
+    """
+
+    coefficients: tuple
+    name: str = ""
+    kind: str = "simple"
+
+    def __post_init__(self) -> None:
+        coeffs = tuple(float(c) for c in self.coefficients)
+        if len(coeffs) == 0:
+            raise ConstraintError("A projection needs at least one coefficient")
+        if not all(np.isfinite(coeffs)):
+            raise ConstraintError("Projection coefficients must be finite")
+        object.__setattr__(self, "coefficients", coeffs)
+
+    @property
+    def n_features(self) -> int:
+        """Number of attribute columns this projection consumes."""
+        return len(self.coefficients)
+
+    def as_array(self) -> np.ndarray:
+        """Return the coefficients as a float64 vector."""
+        return np.asarray(self.coefficients, dtype=np.float64)
+
+    def evaluate(self, X) -> np.ndarray:
+        """Return ``F(X)`` for every row of ``X``."""
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features:
+            raise ConstraintError(
+                f"Projection expects {self.n_features} attributes, X has {X.shape[1]}"
+            )
+        return X @ self.as_array()
+
+    def describe(self, feature_names: Optional[Sequence[str]] = None) -> str:
+        """Render the projection as a readable linear expression."""
+        terms: List[str] = []
+        for j, coefficient in enumerate(self.coefficients):
+            if coefficient == 0.0:
+                continue
+            label = feature_names[j] if feature_names is not None else f"X{j}"
+            terms.append(f"{coefficient:+.3f}*{label}")
+        return " ".join(terms) if terms else "0"
+
+
+@dataclass
+class ProjectionBundle:
+    """Projections discovered on a data partition plus their sample variances."""
+
+    projections: List[Projection] = field(default_factory=list)
+    variances: List[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.projections)
+
+
+def discover_projections(
+    X,
+    *,
+    include_simple: bool = True,
+    include_pca: bool = True,
+    max_pca_components: Optional[int] = None,
+) -> ProjectionBundle:
+    """Discover candidate projections for a data partition.
+
+    Parameters
+    ----------
+    X:
+        Numerical attribute matrix of the partition being profiled.
+    include_simple:
+        Include one identity projection per attribute.
+    include_pca:
+        Include the eigenvectors of the attribute covariance matrix.  These
+        are the projections Fariha et al. target: the low-variance principal
+        directions capture near-linear invariants of the partition.
+    max_pca_components:
+        Optional cap on how many principal directions to keep (lowest-variance
+        directions are kept first, since they make the tightest constraints).
+    """
+    X = check_array(X, name="X")
+    n_samples, n_features = X.shape
+
+    bundle = ProjectionBundle()
+    if include_simple:
+        for j in range(n_features):
+            coefficients = tuple(1.0 if k == j else 0.0 for k in range(n_features))
+            projection = Projection(coefficients, name=f"X{j}", kind="simple")
+            bundle.projections.append(projection)
+            bundle.variances.append(float(X[:, j].var()))
+
+    if include_pca and n_samples >= 2 and n_features >= 2:
+        centered = X - X.mean(axis=0)
+        covariance = (centered.T @ centered) / max(n_samples - 1, 1)
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        # eigh returns ascending eigenvalues: low-variance directions first.
+        order = np.argsort(eigenvalues)
+        if max_pca_components is not None:
+            order = order[: max(int(max_pca_components), 0)]
+        for rank, index in enumerate(order):
+            vector = eigenvectors[:, index]
+            # Normalize the sign for reproducibility (largest component positive).
+            anchor = int(np.argmax(np.abs(vector)))
+            if vector[anchor] < 0:
+                vector = -vector
+            projection = Projection(tuple(vector.tolist()), name=f"pc{rank}", kind="pca")
+            bundle.projections.append(projection)
+            bundle.variances.append(float(max(eigenvalues[index], 0.0)))
+
+    return bundle

@@ -1,0 +1,20 @@
+"""Shared low-level utilities (validation, random-state handling)."""
+
+from repro.utils.random import check_random_state, spawn_seeds
+from repro.utils.validation import (
+    check_array,
+    check_binary_labels,
+    check_consistent_length,
+    check_sample_weight,
+    check_X_y,
+)
+
+__all__ = [
+    "check_array",
+    "check_binary_labels",
+    "check_consistent_length",
+    "check_random_state",
+    "check_sample_weight",
+    "check_X_y",
+    "spawn_seeds",
+]

@@ -1,0 +1,69 @@
+"""Random-state handling helpers.
+
+Every stochastic component in the library accepts a ``random_state`` argument
+which may be ``None``, an integer seed, or a :class:`numpy.random.Generator`.
+:func:`check_random_state` normalizes these three forms into a ``Generator``
+so downstream code has a single type to work with.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomStateLike = Union[None, int, np.random.Generator]
+
+
+def check_random_state(random_state: RandomStateLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for fresh entropy, an ``int`` seed for reproducible streams,
+        or an existing ``Generator`` which is returned unchanged.
+
+    Raises
+    ------
+    TypeError
+        If ``random_state`` is none of the accepted types.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        if random_state < 0:
+            raise TypeError("random_state seed must be non-negative")
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int, or numpy.random.Generator; "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_seeds(random_state: RandomStateLike, n_seeds: int) -> list:
+    """Derive ``n_seeds`` independent integer seeds from ``random_state``.
+
+    Used by experiment runners that repeat a pipeline over many seeds while
+    remaining reproducible from a single top-level seed.
+    """
+    if n_seeds < 0:
+        raise ValueError("n_seeds must be non-negative")
+    rng = check_random_state(random_state)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n_seeds)]
+
+
+def resolve_seed(random_state: RandomStateLike, offset: int = 0) -> Optional[int]:
+    """Return a deterministic integer seed derived from ``random_state``.
+
+    ``None`` stays ``None`` (fresh entropy); integer seeds are offset so that
+    distinct components seeded from the same experiment seed do not share an
+    identical stream.
+    """
+    if random_state is None:
+        return None
+    if isinstance(random_state, np.random.Generator):
+        return int(random_state.integers(0, 2**31 - 1))
+    return int(random_state) + int(offset)

@@ -1,0 +1,111 @@
+"""Input-validation helpers shared across learners, profilers, and metrics.
+
+These mirror the small subset of scikit-learn's ``check_*`` utilities that the
+library needs, implemented on plain numpy.  They normalize inputs to
+``float64`` arrays, reject NaN/inf where appropriate, and raise
+:class:`repro.exceptions.ValidationError` with actionable messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def check_array(
+    X,
+    *,
+    name: str = "X",
+    ensure_2d: bool = True,
+    allow_empty: bool = False,
+    dtype=np.float64,
+    force_finite: bool = True,
+) -> np.ndarray:
+    """Validate and convert ``X`` to a numpy array.
+
+    Parameters
+    ----------
+    X:
+        Array-like input.
+    name:
+        Name used in error messages.
+    ensure_2d:
+        Require a 2-D matrix (the common case for feature matrices).
+    allow_empty:
+        Permit zero rows.
+    dtype:
+        Target dtype (``None`` keeps the input dtype).
+    force_finite:
+        Reject NaN and infinity.
+    """
+    try:
+        arr = np.asarray(X, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} could not be converted to a numeric array: {exc}") from exc
+
+    if ensure_2d:
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ValidationError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if not allow_empty and arr.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if force_finite and arr.dtype.kind == "f" and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_consistent_length(*arrays, names: Optional[Tuple[str, ...]] = None) -> None:
+    """Ensure all arrays share the same first-dimension length."""
+    lengths = [len(a) for a in arrays if a is not None]
+    if len(set(lengths)) > 1:
+        label = ", ".join(names) if names else "inputs"
+        raise ValidationError(f"Inconsistent lengths for {label}: {lengths}")
+
+
+def check_X_y(X, y, *, force_finite: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and label vector together."""
+    X_arr = check_array(X, name="X", force_finite=force_finite)
+    y_arr = np.asarray(y)
+    if y_arr.ndim != 1:
+        y_arr = y_arr.ravel()
+    if y_arr.shape[0] != X_arr.shape[0]:
+        raise ValidationError(
+            f"X and y have inconsistent lengths: {X_arr.shape[0]} vs {y_arr.shape[0]}"
+        )
+    if y_arr.shape[0] == 0:
+        raise ValidationError("y must not be empty")
+    return X_arr, y_arr
+
+
+def check_binary_labels(y, *, name: str = "y") -> np.ndarray:
+    """Validate that ``y`` contains only the labels 0 and 1."""
+    y_arr = np.asarray(y).ravel()
+    uniques = np.unique(y_arr)
+    if not np.all(np.isin(uniques, (0, 1))):
+        raise ValidationError(f"{name} must contain only binary labels 0/1, got {uniques!r}")
+    return y_arr.astype(np.int64)
+
+
+def check_sample_weight(sample_weight, n_samples: int) -> np.ndarray:
+    """Validate per-sample weights: non-negative, finite, length ``n_samples``.
+
+    ``None`` yields uniform unit weights.
+    """
+    if sample_weight is None:
+        return np.ones(n_samples, dtype=np.float64)
+    weights = np.asarray(sample_weight, dtype=np.float64).ravel()
+    if weights.shape[0] != n_samples:
+        raise ValidationError(
+            f"sample_weight has length {weights.shape[0]}, expected {n_samples}"
+        )
+    if not np.all(np.isfinite(weights)):
+        raise ValidationError("sample_weight contains NaN or infinite values")
+    if np.any(weights < 0):
+        raise ValidationError("sample_weight must be non-negative")
+    if np.all(weights == 0):
+        raise ValidationError("sample_weight must not be all zeros")
+    return weights

@@ -1,0 +1,60 @@
+"""Shared fixtures for the unit and integration tests.
+
+The fixtures deliberately use small, fast-to-generate datasets; the heavier
+paper-scale runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, make_drifted_groups, split_dataset
+
+
+@pytest.fixture(scope="session")
+def drifted_dataset():
+    """A small synthetic dataset with clear majority/minority drift."""
+    return make_drifted_groups(
+        n_majority=600,
+        n_minority=220,
+        n_features=5,
+        drift_angle=80.0,
+        class_sep=1.5,
+        group_shift=3.2,
+        name="unit-syn",
+        random_state=123,
+    )
+
+
+@pytest.fixture(scope="session")
+def drifted_split(drifted_dataset):
+    """A 70/15/15 split of the drifted synthetic dataset."""
+    return split_dataset(drifted_dataset, random_state=123)
+
+
+@pytest.fixture(scope="session")
+def lsac_dataset():
+    """A small LSAC surrogate (numeric + categorical columns, unfair baseline)."""
+    return load_dataset("lsac", size_factor=0.04, random_state=321)
+
+
+@pytest.fixture(scope="session")
+def lsac_split(lsac_dataset):
+    return split_dataset(lsac_dataset, random_state=321)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(2024)
+
+
+@pytest.fixture(scope="session")
+def linear_data():
+    """A linearly separable binary problem (for learner sanity checks)."""
+    generator = np.random.default_rng(7)
+    X = generator.normal(0.0, 1.0, size=(400, 4))
+    logits = 2.0 * X[:, 0] - 1.5 * X[:, 1] + 0.5
+    y = (logits + generator.normal(0.0, 0.5, size=400) > 0).astype(int)
+    return X, y

@@ -1,0 +1,179 @@
+"""Unit tests for the baseline interventions (none, MultiModel, KAM, OMN, CAP)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CapuchinRepair,
+    KamiranReweighing,
+    MultiModel,
+    NoIntervention,
+    OmniFairReweighing,
+)
+from repro.exceptions import ValidationError
+from repro.fairness import evaluate_predictions
+
+
+class TestNoIntervention:
+    def test_fit_predict(self, drifted_split):
+        model = NoIntervention(learner="lr").fit(drifted_split.train)
+        predictions = model.predict(drifted_split.deploy.X)
+        assert predictions.shape[0] == drifted_split.deploy.n_samples
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_predict_proba(self, drifted_split):
+        model = NoIntervention(learner="lr").fit(drifted_split.train)
+        proba = model.predict_proba(drifted_split.deploy.X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValidationError):
+            NoIntervention().predict(np.zeros((2, 3)))
+
+
+class TestMultiModel:
+    def test_requires_group_at_prediction(self, drifted_split):
+        model = MultiModel(learner="lr").fit(drifted_split.train)
+        predictions = model.predict(drifted_split.deploy.X, drifted_split.deploy.group)
+        assert predictions.shape[0] == drifted_split.deploy.n_samples
+
+    def test_group_length_mismatch(self, drifted_split):
+        model = MultiModel(learner="lr").fit(drifted_split.train)
+        with pytest.raises(ValidationError):
+            model.predict(drifted_split.deploy.X, drifted_split.deploy.group[:-3])
+
+    def test_improves_fairness_under_drift(self, drifted_split):
+        split = drifted_split
+        baseline = NoIntervention(learner="lr").fit(split.train)
+        base_report = evaluate_predictions(
+            split.deploy.y, baseline.predict(split.deploy.X), split.deploy.group
+        )
+        multimodel = MultiModel(learner="lr").fit(split.train)
+        report = evaluate_predictions(
+            split.deploy.y,
+            multimodel.predict(split.deploy.X, split.deploy.group),
+            split.deploy.group,
+        )
+        assert report.di_star > base_report.di_star
+        assert report.balanced_accuracy > base_report.balanced_accuracy - 0.1
+
+    def test_requires_both_groups(self, drifted_split):
+        with pytest.raises(ValidationError):
+            MultiModel(learner="lr").fit(drifted_split.train.partition(group_value=1))
+
+
+class TestKamiran:
+    def test_cell_weights_restore_independence(self, lsac_split):
+        train = lsac_split.train
+        kam = KamiranReweighing().fit(train)
+        weights = kam.weights_
+        # Under the weights, the weighted joint distribution of (group, label)
+        # factorizes into its marginals.
+        total = weights.sum()
+        for group_value in (0, 1):
+            for label in (0, 1):
+                cell = (train.group == group_value) & (train.y == label)
+                if not cell.any():
+                    continue
+                weighted_joint = weights[cell].sum() / total
+                weighted_group = weights[train.group == group_value].sum() / total
+                weighted_label = weights[train.y == label].sum() / total
+                assert weighted_joint == pytest.approx(weighted_group * weighted_label, abs=1e-6)
+
+    def test_identical_weights_within_cells(self, lsac_split):
+        kam = KamiranReweighing().fit(lsac_split.train)
+        train = lsac_split.train
+        for group_value in (0, 1):
+            for label in (0, 1):
+                cell = (train.group == group_value) & (train.y == label)
+                if cell.any():
+                    assert np.unique(kam.weights_[cell]).size == 1
+
+    def test_fit_learner_improves_fairness(self, lsac_split):
+        split = lsac_split
+        baseline = NoIntervention(learner="lr").fit(split.train)
+        base_report = evaluate_predictions(
+            split.deploy.y, baseline.predict(split.deploy.X), split.deploy.group
+        )
+        kam_model = KamiranReweighing(learner="lr").fit(split.train).fit_learner()
+        report = evaluate_predictions(
+            split.deploy.y, kam_model.predict(split.deploy.X), split.deploy.group
+        )
+        assert report.di_star >= base_report.di_star - 0.05
+
+    def test_fit_learner_before_fit(self):
+        with pytest.raises(ValidationError):
+            KamiranReweighing().fit_learner()
+
+
+class TestOmniFair:
+    def test_lambda_zero_gives_unit_weights(self, lsac_split):
+        omn = OmniFairReweighing(lam=0.0, learner="lr").fit(lsac_split.train)
+        assert np.allclose(omn.weights_, 1.0)
+
+    def test_uniform_weights_within_cells(self, lsac_split):
+        omn = OmniFairReweighing(lam=1.0, learner="lr").fit(lsac_split.train)
+        train = lsac_split.train
+        for group_value in (0, 1):
+            for label in (0, 1):
+                cell = (train.group == group_value) & (train.y == label)
+                if cell.any():
+                    assert np.unique(np.round(omn.weights_[cell], 9)).size == 1
+
+    def test_lambda_search_requires_validation(self, lsac_split):
+        with pytest.raises(ValidationError):
+            OmniFairReweighing(learner="lr").fit(lsac_split.train)
+
+    def test_lambda_search_picks_from_grid(self, lsac_split):
+        omn = OmniFairReweighing(learner="lr", lam_grid=(0.0, 0.5)).fit(
+            lsac_split.train, validation=lsac_split.validation
+        )
+        assert omn.lam_ in (0.0, 0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            OmniFairReweighing(lam=-1.0)
+        with pytest.raises(ValidationError):
+            OmniFairReweighing(n_calibration_rounds=0)
+        with pytest.raises(ValidationError):
+            OmniFairReweighing(fairness_target="accuracy")
+
+
+class TestCapuchin:
+    def test_repair_moves_cells_toward_independence(self, lsac_split):
+        train = lsac_split.train
+        cap = CapuchinRepair(random_state=0).fit(train)
+        repaired = cap.repaired_
+        n = repaired.n_samples
+
+        def dependence(dataset):
+            total = dataset.n_samples
+            gap = 0.0
+            for group_value in (0, 1):
+                for label in (0, 1):
+                    joint = np.mean((dataset.group == group_value) & (dataset.y == label))
+                    independent = np.mean(dataset.group == group_value) * np.mean(dataset.y == label)
+                    gap += abs(joint - independent)
+            return gap
+
+        assert dependence(repaired) < dependence(train) + 1e-9
+        assert n > 0
+
+    def test_repair_strength_zero_keeps_cell_counts(self, lsac_split):
+        cap = CapuchinRepair(repair_strength=0.0, random_state=0).fit(lsac_split.train)
+        assert cap.repaired_.partition_sizes() == lsac_split.train.partition_sizes()
+
+    def test_original_dataset_untouched(self, lsac_split):
+        sizes_before = lsac_split.train.partition_sizes()
+        CapuchinRepair(random_state=0).fit(lsac_split.train)
+        assert lsac_split.train.partition_sizes() == sizes_before
+
+    def test_fit_learner_produces_usable_model(self, lsac_split):
+        cap = CapuchinRepair(learner="lr", random_state=0).fit(lsac_split.train)
+        model = cap.fit_learner()
+        predictions = model.predict(lsac_split.deploy.X)
+        assert predictions.shape[0] == lsac_split.deploy.n_samples
+
+    def test_invalid_strength(self):
+        with pytest.raises(ValidationError):
+            CapuchinRepair(repair_strength=1.5)

@@ -1,0 +1,130 @@
+"""Unit tests for RawTable and the preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import PreprocessingPipeline, RawTable
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture()
+def raw_table():
+    numeric = np.array(
+        [
+            [1.0, 10.0],
+            [2.0, 20.0],
+            [np.nan, 30.0],
+            [4.0, 40.0],
+            [5.0, 50.0],
+            [6.0, 60.0],
+        ]
+    )
+    categorical = np.array(
+        [["a"], ["b"], ["a"], [None], ["b"], ["a"]], dtype=object
+    )
+    y = np.array([0, 1, 0, 1, 0, 1])
+    group = np.array([0, 0, 1, 1, 0, 1])
+    return RawTable(
+        numeric=numeric,
+        categorical=categorical,
+        y=y,
+        group=group,
+        numeric_names=("age", "income"),
+        categorical_names=("color",),
+        name="demo",
+    )
+
+
+class TestRawTable:
+    def test_null_mask_flags_numeric_and_categorical_nulls(self, raw_table):
+        assert raw_table.null_mask().tolist() == [False, False, True, True, False, False]
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            RawTable(
+                numeric=np.zeros((3, 1)),
+                categorical=np.empty((2, 0), dtype=object),
+                y=[0, 1, 0],
+                group=[0, 1, 0],
+            )
+
+    def test_default_names_generated(self):
+        table = RawTable(
+            numeric=np.zeros((2, 2)),
+            categorical=np.empty((2, 0), dtype=object),
+            y=[0, 1],
+            group=[0, 1],
+        )
+        assert table.numeric_names == ("num0", "num1")
+
+    def test_name_count_validation(self):
+        with pytest.raises(DatasetError):
+            RawTable(
+                numeric=np.zeros((2, 2)),
+                categorical=np.empty((2, 0), dtype=object),
+                y=[0, 1],
+                group=[0, 1],
+                numeric_names=("only_one",),
+            )
+
+
+class TestPreprocessingPipeline:
+    def test_drop_nulls_removes_rows(self, raw_table):
+        data = PreprocessingPipeline(drop_nulls=True).fit_transform(raw_table)
+        assert data.n_samples == 4
+
+    def test_imputation_keeps_all_rows(self, raw_table):
+        data = PreprocessingPipeline(drop_nulls=False).fit_transform(raw_table)
+        assert data.n_samples == 6
+        assert np.isfinite(data.X).all()
+        # The imputed categorical becomes an explicit "missing" category.
+        assert any("missing" in name for name in data.feature_names)
+
+    def test_minmax_scaling_range(self, raw_table):
+        data = PreprocessingPipeline(scaler="minmax").fit_transform(raw_table)
+        numeric = data.numeric_X
+        assert numeric.min() >= 0.0 and numeric.max() <= 1.0
+
+    def test_standard_scaling(self, raw_table):
+        data = PreprocessingPipeline(scaler="standard").fit_transform(raw_table)
+        assert np.allclose(data.numeric_X.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_no_scaling(self, raw_table):
+        data = PreprocessingPipeline(scaler="none", drop_nulls=False).fit_transform(raw_table)
+        assert data.numeric_X[:, 1].max() == pytest.approx(60.0)
+
+    def test_one_hot_columns_created(self, raw_table):
+        data = PreprocessingPipeline().fit_transform(raw_table)
+        assert data.n_numeric_features == 2
+        one_hot = data.X[:, data.n_numeric_features :]
+        assert set(np.unique(one_hot)) <= {0.0, 1.0}
+        assert any(name.startswith("color=") for name in data.feature_names)
+
+    def test_feature_names_align_with_columns(self, raw_table):
+        data = PreprocessingPipeline().fit_transform(raw_table)
+        assert len(data.feature_names) == data.n_features
+
+    def test_invalid_scaler_rejected(self):
+        with pytest.raises(DatasetError):
+            PreprocessingPipeline(scaler="robust")
+
+    def test_all_null_rows_rejected(self):
+        table = RawTable(
+            numeric=np.full((3, 1), np.nan),
+            categorical=np.empty((3, 0), dtype=object),
+            y=[0, 1, 0],
+            group=[0, 1, 0],
+        )
+        with pytest.raises(DatasetError):
+            PreprocessingPipeline(drop_nulls=True).fit_transform(table)
+
+    def test_numeric_only_table(self):
+        table = RawTable(
+            numeric=np.random.default_rng(0).normal(size=(10, 3)),
+            categorical=np.empty((10, 0), dtype=object),
+            y=[0, 1] * 5,
+            group=[0, 0, 1, 1, 0, 1, 0, 1, 0, 1],
+        )
+        data = PreprocessingPipeline().fit_transform(table)
+        assert data.n_features == 3
+        assert data.n_numeric_features == 3

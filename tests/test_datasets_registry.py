@@ -1,0 +1,156 @@
+"""Unit tests for dataset specs, surrogates, registry, and splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import available_datasets, dataset_summary, load_dataset, split_dataset
+from repro.datasets.realworld import generate_surrogate_by_name
+from repro.datasets.registry import REAL_WORLD_NAMES, SYNTHETIC_NAMES
+from repro.datasets.schema import PAPER_DATASET_SPECS, ColumnSpec, DatasetSpec
+from repro.exceptions import DatasetError
+
+
+class TestSpecs:
+    def test_seven_paper_datasets(self):
+        assert len(PAPER_DATASET_SPECS) == 7
+        assert set(PAPER_DATASET_SPECS) == {
+            "meps",
+            "lsac",
+            "credit",
+            "acsp",
+            "acsh",
+            "acse",
+            "acsi",
+        }
+
+    def test_fig4_statistics_recorded(self):
+        meps = PAPER_DATASET_SPECS["meps"]
+        assert meps.full_size == 15_675
+        assert meps.n_numeric == 6
+        assert meps.n_categorical == 34
+        assert meps.minority_fraction == pytest.approx(0.616)
+        credit = PAPER_DATASET_SPECS["credit"]
+        assert credit.n_categorical == 0
+        assert credit.minority_label == "age<35"
+
+    def test_summary_row_format(self):
+        row = PAPER_DATASET_SPECS["lsac"].summary_row()
+        assert row["minority_population"] == "7.7%"
+        assert row["predictive_task"] == "passing bar exam"
+
+    def test_scaled_size_floor(self):
+        assert PAPER_DATASET_SPECS["meps"].scaled_size(0.0001) == 800
+        assert PAPER_DATASET_SPECS["credit"].scaled_size(0.5) == 60_134 or (
+            PAPER_DATASET_SPECS["credit"].scaled_size(0.5) == round(120_269 * 0.5)
+        )
+
+    def test_invalid_spec_values(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(
+                name="bad",
+                full_size=0,
+                n_numeric=2,
+                n_categorical=0,
+                minority_label="x",
+                minority_fraction=0.1,
+                minority_positive_rate=0.2,
+                predictive_task="t",
+            )
+
+    def test_column_spec_validation(self):
+        with pytest.raises(DatasetError):
+            ColumnSpec(name="c", kind="weird")
+        with pytest.raises(DatasetError):
+            ColumnSpec(name="c", kind="categorical", n_categories=1)
+
+
+class TestSurrogates:
+    def test_calibration_to_published_statistics(self):
+        for name in ("lsac", "credit", "acsp"):
+            spec = PAPER_DATASET_SPECS[name]
+            table = generate_surrogate_by_name(name, size_factor=0.05, random_state=1)
+            minority_fraction = table.group.mean()
+            assert abs(minority_fraction - spec.minority_fraction) < 0.05
+            minority_positive = table.y[table.group == 1].mean()
+            assert abs(minority_positive - spec.minority_positive_rate) < 0.12
+
+    def test_attribute_counts_match_spec(self):
+        table = generate_surrogate_by_name("acsp", size_factor=0.02, random_state=2)
+        spec = PAPER_DATASET_SPECS["acsp"]
+        assert table.numeric.shape[1] == max(spec.n_numeric, 2)
+        assert table.categorical.shape[1] == spec.n_categorical
+
+    def test_missing_values_present(self):
+        table = generate_surrogate_by_name("meps", size_factor=0.05, random_state=3)
+        assert table.null_mask().any()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_surrogate_by_name("adult")
+
+    def test_reproducible(self):
+        a = generate_surrogate_by_name("lsac", size_factor=0.03, random_state=9)
+        b = generate_surrogate_by_name("lsac", size_factor=0.03, random_state=9)
+        assert np.array_equal(a.y, b.y)
+        assert np.allclose(np.nan_to_num(a.numeric), np.nan_to_num(b.numeric))
+
+
+class TestRegistry:
+    def test_available_datasets_lists_both_families(self):
+        names = available_datasets()
+        assert set(REAL_WORLD_NAMES) <= set(names)
+        assert set(SYNTHETIC_NAMES) <= set(names)
+
+    def test_load_real_world_dataset(self):
+        data = load_dataset("credit", size_factor=0.02, random_state=0)
+        assert data.name == "credit"
+        assert data.n_samples >= 800
+        assert data.minority_fraction > 0.05
+
+    def test_load_synthetic_dataset(self):
+        data = load_dataset("syn3", random_state=0, size_factor=0.1)
+        assert data.name == "syn3"
+        assert data.metadata["generator"] == "make_drifted_groups"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("compas")
+
+    def test_dataset_summary_shape(self):
+        rows = dataset_summary()
+        assert len(rows) == 7
+        assert all("predictive_task" in row for row in rows)
+
+    def test_case_insensitive_names(self):
+        data = load_dataset("LSAC", size_factor=0.02, random_state=0)
+        assert data.name == "lsac"
+
+
+class TestSplitDataset:
+    def test_split_proportions(self, lsac_dataset):
+        split = split_dataset(lsac_dataset, random_state=0)
+        train_n, val_n, test_n = split.sizes
+        total = lsac_dataset.n_samples
+        assert train_n + val_n + test_n == total
+        assert abs(train_n / total - 0.70) < 0.05
+        assert abs(val_n / total - 0.15) < 0.05
+
+    def test_all_partitions_contain_both_groups(self, lsac_dataset):
+        split = split_dataset(lsac_dataset, random_state=1)
+        for part in split:
+            assert set(np.unique(part.group)) == {0, 1}
+            assert set(np.unique(part.y)) == {0, 1}
+
+    def test_different_seeds_give_different_splits(self, lsac_dataset):
+        a = split_dataset(lsac_dataset, random_state=1)
+        b = split_dataset(lsac_dataset, random_state=2)
+        assert not np.array_equal(a.train.X[:20], b.train.X[:20])
+
+    def test_same_seed_reproducible(self, lsac_dataset):
+        a = split_dataset(lsac_dataset, random_state=3)
+        b = split_dataset(lsac_dataset, random_state=3)
+        assert np.array_equal(a.deploy.y, b.deploy.y)
+
+    def test_invalid_sizes(self, lsac_dataset):
+        with pytest.raises(DatasetError):
+            split_dataset(lsac_dataset, train_size=0.9, validation_size=0.2)

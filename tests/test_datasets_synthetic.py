@@ -1,0 +1,102 @@
+"""Unit tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, make_drifted_groups
+from repro.exceptions import DatasetError
+from repro.learners import LogisticRegressionClassifier
+from repro.learners.metrics import accuracy_score
+
+
+class TestMakeClassification:
+    def test_shapes_and_labels(self):
+        X, y = make_classification(n_samples=300, n_features=6, random_state=0)
+        assert X.shape == (300, 6)
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_classes_are_learnable(self):
+        X, y = make_classification(
+            n_samples=500, n_features=5, n_informative=3, class_sep=2.0, flip_y=0.0, random_state=1
+        )
+        model = LogisticRegressionClassifier(max_iter=200).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+    def test_class_weights_respected(self):
+        _, y = make_classification(n_samples=1000, weights=(0.8, 0.2), random_state=2)
+        assert abs(y.mean() - 0.2) < 0.05
+
+    def test_reproducibility(self):
+        a = make_classification(n_samples=100, random_state=3)
+        b = make_classification(n_samples=100, random_state=3)
+        assert np.allclose(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_flip_y_adds_noise(self):
+        X, clean = make_classification(n_samples=2000, flip_y=0.0, random_state=4)
+        _, noisy = make_classification(n_samples=2000, flip_y=0.3, random_state=4)
+        assert (clean != noisy).mean() > 0.1
+
+    def test_invalid_feature_budget(self):
+        with pytest.raises(DatasetError):
+            make_classification(n_features=3, n_informative=3, n_redundant=2)
+
+    def test_invalid_weights(self):
+        with pytest.raises(DatasetError):
+            make_classification(weights=(0.9, 0.2))
+
+
+class TestMakeDriftedGroups:
+    def test_group_sizes_and_rates(self):
+        data = make_drifted_groups(n_majority=400, n_minority=100, random_state=0)
+        assert data.n_samples == 500
+        assert abs(data.minority_fraction - 0.2) < 0.01
+        assert 0.4 < data.group_positive_rate(1) < 0.6
+
+    def test_metadata_records_generator(self):
+        data = make_drifted_groups(n_majority=50, n_minority=20, random_state=0)
+        assert data.metadata["generator"] == "make_drifted_groups"
+
+    def test_groups_have_shifted_means(self):
+        data = make_drifted_groups(
+            n_majority=800, n_minority=300, group_shift=3.0, random_state=1
+        )
+        majority_mean = data.X[data.group == 0, 0].mean()
+        minority_mean = data.X[data.group == 1, 0].mean()
+        assert majority_mean - minority_mean > 2.0
+
+    def test_pooled_model_is_unfair(self):
+        """The headline property: a single model under-selects the minority."""
+        from repro.datasets import split_dataset
+        from repro.fairness import evaluate_predictions
+
+        data = make_drifted_groups(
+            n_majority=900, n_minority=350, drift_angle=85, group_shift=3.0, random_state=2
+        )
+        split = split_dataset(data, random_state=2)
+        model = LogisticRegressionClassifier(max_iter=200).fit(split.train.X, split.train.y)
+        report = evaluate_predictions(
+            split.deploy.y, model.predict(split.deploy.X), split.deploy.group
+        )
+        assert report.di_star < 0.8
+        assert report.selection_rate_minority < report.selection_rate_majority
+
+    def test_per_group_models_are_accurate(self):
+        data = make_drifted_groups(n_majority=800, n_minority=400, drift_angle=85, random_state=3)
+        for group_value in (0, 1):
+            part = data.partition(group_value=group_value)
+            model = LogisticRegressionClassifier(max_iter=200).fit(part.X, part.y)
+            assert accuracy_score(part.y, model.predict(part.X)) > 0.8
+
+    def test_reproducible(self):
+        a = make_drifted_groups(n_majority=60, n_minority=30, random_state=5)
+        b = make_drifted_groups(n_majority=60, n_minority=30, random_state=5)
+        assert np.allclose(a.X, b.X)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            make_drifted_groups(n_features=1)
+        with pytest.raises(DatasetError):
+            make_drifted_groups(n_majority=2)
+        with pytest.raises(DatasetError):
+            make_drifted_groups(group_shift=-1.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture()
+def small_dataset():
+    X = np.arange(24, dtype=float).reshape(8, 3)
+    y = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+    group = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    return Dataset(X=X, y=y, group=group, name="small")
+
+
+class TestConstruction:
+    def test_basic_properties(self, small_dataset):
+        assert small_dataset.n_samples == 8
+        assert small_dataset.n_features == 3
+        assert small_dataset.minority_fraction == pytest.approx(0.5)
+        assert small_dataset.positive_rate == pytest.approx(0.5)
+
+    def test_default_feature_names(self, small_dataset):
+        assert small_dataset.feature_names == ("f0", "f1", "f2")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(X=np.zeros((3, 2)), y=[0, 1], group=[0, 1, 1])
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(Exception):
+            Dataset(X=np.zeros((2, 2)), y=[0, 2], group=[0, 1])
+
+    def test_feature_name_count_must_match(self):
+        with pytest.raises(DatasetError):
+            Dataset(X=np.zeros((2, 2)), y=[0, 1], group=[0, 1], feature_names=("only_one",))
+
+    def test_numeric_prefix_bounds(self):
+        with pytest.raises(DatasetError):
+            Dataset(X=np.zeros((2, 2)), y=[0, 1], group=[0, 1], n_numeric_features=5)
+
+    def test_numeric_X_returns_prefix(self):
+        data = Dataset(
+            X=np.arange(8, dtype=float).reshape(2, 4), y=[0, 1], group=[0, 1], n_numeric_features=2
+        )
+        assert data.numeric_X.shape == (2, 2)
+
+
+class TestSelection:
+    def test_subset_by_mask(self, small_dataset):
+        subset = small_dataset.subset(small_dataset.group == 1)
+        assert subset.n_samples == 4
+        assert set(subset.group.tolist()) == {1}
+
+    def test_subset_by_indices(self, small_dataset):
+        subset = small_dataset.subset(np.array([0, 2, 4]))
+        assert subset.n_samples == 3
+
+    def test_empty_subset_rejected(self, small_dataset):
+        with pytest.raises(DatasetError):
+            small_dataset.subset(np.zeros(8, dtype=bool))
+
+    def test_partition_by_group_and_label(self, small_dataset):
+        part = small_dataset.partition(group_value=1, label=0)
+        assert part.n_samples == 2
+        assert set(part.y.tolist()) == {0}
+
+    def test_partition_sizes(self, small_dataset):
+        sizes = small_dataset.partition_sizes()
+        assert sizes == {(0, 0): 2, (0, 1): 2, (1, 0): 2, (1, 1): 2}
+
+    def test_empty_partition_raises(self):
+        data = Dataset(X=np.zeros((4, 1)), y=[1, 1, 1, 1], group=[0, 0, 1, 1])
+        with pytest.raises(DatasetError):
+            data.partition(group_value=0, label=0)
+
+    def test_group_positive_rate(self, small_dataset):
+        assert small_dataset.group_positive_rate(0) == pytest.approx(0.5)
+
+    def test_subset_does_not_mutate_original(self, small_dataset):
+        original_n = small_dataset.n_samples
+        small_dataset.subset([0, 1])
+        assert small_dataset.n_samples == original_n
+
+
+class TestDerivedViews:
+    def test_with_name(self, small_dataset):
+        renamed = small_dataset.with_name("other")
+        assert renamed.name == "other"
+        assert small_dataset.name == "small"
+
+    def test_replace_labels(self, small_dataset):
+        flipped = small_dataset.replace_labels(1 - small_dataset.y)
+        assert np.array_equal(flipped.y, 1 - small_dataset.y)
+        assert np.array_equal(small_dataset.y, np.array([0, 1, 0, 1, 0, 1, 0, 1]))
+
+    def test_describe_keys(self, small_dataset):
+        description = small_dataset.describe()
+        assert description["name"] == "small"
+        assert description["n_samples"] == 8
+        assert "minority_positive_rate" in description

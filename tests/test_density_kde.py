@@ -1,0 +1,112 @@
+"""Unit tests for kernel density estimation."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.density import KernelDensity, scott_bandwidth, silverman_bandwidth
+from repro.density.kernels import kernel_by_name, log_normalization
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestKernels:
+    def test_lookup_known_kernels(self):
+        for name in ("gaussian", "tophat", "epanechnikov"):
+            assert callable(kernel_by_name(name))
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValidationError):
+            kernel_by_name("triangular")
+
+    def test_gaussian_normalization_1d(self):
+        # exp(log_norm) must equal 1/sqrt(2*pi*h^2) for d=1.
+        h = 0.7
+        expected = 1.0 / np.sqrt(2 * np.pi * h**2)
+        assert np.exp(log_normalization("gaussian", h, 1)) == pytest.approx(expected)
+
+    def test_tophat_normalization_2d(self):
+        # Uniform on a disc of radius h: density 1/(pi h^2).
+        h = 2.0
+        assert np.exp(log_normalization("tophat", h, 2)) == pytest.approx(1.0 / (np.pi * h**2))
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValidationError):
+            log_normalization("gaussian", 0.0, 1)
+
+
+class TestBandwidthRules:
+    def test_positive_for_random_data(self, rng):
+        X = rng.normal(size=(100, 3))
+        assert scott_bandwidth(X) > 0
+        assert silverman_bandwidth(X) > 0
+
+    def test_shrinks_with_sample_size(self, rng):
+        small = scott_bandwidth(rng.normal(size=(50, 2)))
+        large = scott_bandwidth(rng.normal(size=(5000, 2)))
+        assert large < small
+
+    def test_constant_data_falls_back_to_unit_sigma(self):
+        X = np.ones((30, 2))
+        assert scott_bandwidth(X) > 0
+
+
+class TestKernelDensity:
+    def test_matches_scipy_gaussian_kde_ranking(self, rng):
+        X = rng.normal(size=(400, 2))
+        ours = KernelDensity(kernel="gaussian", bandwidth="scott").fit(X)
+        reference = stats.gaussian_kde(X.T)
+        query = rng.normal(size=(50, 2))
+        our_scores = ours.score_samples(query)
+        ref_scores = np.log(reference(query.T))
+        # Same density *ordering* (bandwidth conventions differ slightly).
+        assert stats.spearmanr(our_scores, ref_scores).correlation > 0.95
+
+    def test_1d_gaussian_density_close_to_truth(self, rng):
+        X = rng.normal(size=(3000, 1))
+        kde = KernelDensity(kernel="gaussian", bandwidth="silverman").fit(X)
+        query = np.array([[0.0], [1.0], [2.0]])
+        estimated = np.exp(kde.score_samples(query))
+        truth = stats.norm.pdf(query.ravel())
+        assert np.allclose(estimated, truth, atol=0.05)
+
+    def test_dense_region_scores_higher(self, rng):
+        X = np.vstack([rng.normal(0, 0.3, size=(300, 2)), rng.normal(5, 3.0, size=(60, 2))])
+        kde = KernelDensity().fit(X)
+        dense_score = kde.score_samples(np.array([[0.0, 0.0]]))[0]
+        sparse_score = kde.score_samples(np.array([[5.0, 5.0]]))[0]
+        assert dense_score > sparse_score
+
+    def test_tree_and_brute_backends_agree(self, rng):
+        X = rng.normal(size=(500, 2))
+        query = rng.normal(size=(40, 2))
+        brute = KernelDensity(kernel="tophat", bandwidth=1.0, algorithm="brute").fit(X)
+        tree = KernelDensity(kernel="tophat", bandwidth=1.0, algorithm="kd_tree").fit(X)
+        assert np.allclose(brute.score_samples(query), tree.score_samples(query))
+
+    def test_density_rank(self, rng):
+        X = np.vstack([rng.normal(0, 0.2, size=(100, 2)), np.array([[10.0, 10.0]])])
+        kde = KernelDensity().fit(X)
+        ranks = kde.density_rank(X)
+        # The far outlier must be ranked last (least dense).
+        assert ranks[-1] == len(X) - 1
+
+    def test_fixed_bandwidth_accepted(self, rng):
+        kde = KernelDensity(bandwidth=0.5).fit(rng.normal(size=(50, 2)))
+        assert kde.bandwidth_ == 0.5
+
+    def test_invalid_bandwidth_rule(self, rng):
+        with pytest.raises(ValidationError):
+            KernelDensity(bandwidth="magic").fit(rng.normal(size=(10, 2)))
+
+    def test_invalid_algorithm(self, rng):
+        with pytest.raises(ValidationError):
+            KernelDensity(algorithm="quantum").fit(rng.normal(size=(10, 2)))
+
+    def test_score_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KernelDensity().score_samples(np.zeros((2, 2)))
+
+    def test_dimension_mismatch(self, rng):
+        kde = KernelDensity().fit(rng.normal(size=(20, 3)))
+        with pytest.raises(ValidationError):
+            kde.score_samples(rng.normal(size=(5, 2)))

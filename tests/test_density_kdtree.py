@@ -1,0 +1,84 @@
+"""Unit tests for the KD-tree spatial index."""
+
+import numpy as np
+import pytest
+
+from repro.density import KDTree
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(42).normal(size=(300, 3))
+
+
+class TestConstruction:
+    def test_stores_points(self, points):
+        tree = KDTree(points)
+        assert tree.n_points == 300
+        assert tree.n_dims == 3
+
+    def test_invalid_leaf_size(self, points):
+        with pytest.raises(ValidationError):
+            KDTree(points, leaf_size=0)
+
+    def test_duplicate_points_supported(self):
+        tree = KDTree(np.zeros((50, 2)), leaf_size=4)
+        distances, indices = tree.query(np.zeros(2), k=5)
+        assert np.allclose(distances, 0.0)
+        assert len(indices) == 5
+
+
+class TestNearestNeighbours:
+    def test_matches_brute_force(self, points):
+        tree = KDTree(points, leaf_size=8)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            query = rng.normal(size=3)
+            brute = np.argsort(np.linalg.norm(points - query, axis=1))[:5]
+            _, indices = tree.query(query, k=5)
+            assert set(indices.tolist()) == set(brute.tolist())
+
+    def test_distances_sorted(self, points):
+        distances, _ = KDTree(points).query(np.zeros(3), k=10)
+        assert np.all(np.diff(distances) >= 0)
+
+    def test_k_too_large(self, points):
+        with pytest.raises(ValidationError):
+            KDTree(points).query(np.zeros(3), k=1000)
+
+    def test_k_zero_rejected(self, points):
+        with pytest.raises(ValidationError):
+            KDTree(points).query(np.zeros(3), k=0)
+
+    def test_wrong_dimension_query(self, points):
+        with pytest.raises(ValidationError):
+            KDTree(points).query(np.zeros(2), k=1)
+
+
+class TestRadiusQueries:
+    def test_matches_brute_force(self, points):
+        tree = KDTree(points, leaf_size=8)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            query = rng.normal(size=3)
+            radius = rng.uniform(0.3, 1.5)
+            brute = np.flatnonzero(np.linalg.norm(points - query, axis=1) <= radius)
+            found = tree.query_radius(query, radius)
+            assert np.array_equal(found, brute)
+
+    def test_zero_radius(self, points):
+        found = KDTree(points).query_radius(points[7], 0.0)
+        assert 7 in found.tolist()
+
+    def test_negative_radius_rejected(self, points):
+        with pytest.raises(ValidationError):
+            KDTree(points).query_radius(np.zeros(3), -1.0)
+
+    def test_radius_covering_everything(self, points):
+        found = KDTree(points).query_radius(np.zeros(3), 1e6)
+        assert len(found) == len(points)
+
+    def test_nan_query_rejected(self, points):
+        with pytest.raises(ValidationError):
+            KDTree(points).query_radius(np.array([np.nan, 0, 0]), 1.0)

@@ -1,0 +1,126 @@
+"""Unit tests for the experiment harness (runner, aggregation, reporting, config)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, split_dataset
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    METHOD_NAMES,
+    ExperimentConfig,
+    FigureResult,
+    aggregate_cells,
+    evaluate_cell,
+    render_table,
+    run_figure02,
+    run_method,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_split():
+    data = load_dataset("lsac", size_factor=0.03, random_state=5)
+    return split_dataset(data, random_state=5)
+
+
+class TestRunMethod:
+    @pytest.mark.parametrize("method", ["none", "multimodel", "kam", "cap"])
+    def test_simple_methods_produce_predictions(self, tiny_split, method):
+        predictions, details = run_method(method, tiny_split, learner="lr", seed=0)
+        assert predictions.shape[0] == tiny_split.deploy.n_samples
+        assert set(np.unique(predictions)) <= {0, 1}
+        assert isinstance(details, dict)
+
+    def test_confair_with_fixed_alpha(self, tiny_split):
+        predictions, details = run_method("confair", tiny_split, learner="lr", seed=0, alpha_u=1.0)
+        assert details["alpha_u"] == 1.0
+        assert predictions.shape[0] == tiny_split.deploy.n_samples
+
+    def test_confair_auto_tuning_records_alpha(self, tiny_split):
+        _, details = run_method(
+            "confair", tiny_split, learner="lr", seed=0, tuning_grid=(0.0, 1.0)
+        )
+        assert details["alpha_u"] in (0.0, 1.0)
+
+    def test_omn_with_fixed_lambda(self, tiny_split):
+        _, details = run_method("omn", tiny_split, learner="lr", seed=0, lam=0.5)
+        assert details["lambda"] == 0.5
+
+    def test_diffair_reports_routing_fraction(self, tiny_split):
+        _, details = run_method("diffair", tiny_split, learner="lr", seed=0)
+        assert 0.0 <= details["minority_model_fraction"] <= 1.0
+
+    def test_cross_model_calibration(self, tiny_split):
+        predictions, _ = run_method(
+            "confair",
+            tiny_split,
+            learner="lr",
+            seed=0,
+            alpha_u=1.0,
+            calibration_learner="xgb",
+        )
+        assert predictions.shape[0] == tiny_split.deploy.n_samples
+
+    def test_unknown_method(self, tiny_split):
+        with pytest.raises(ExperimentError):
+            run_method("magic", tiny_split)
+
+    def test_method_names_exposed(self):
+        assert "confair" in METHOD_NAMES and "diffair0" in METHOD_NAMES
+
+
+class TestEvaluateAndAggregate:
+    def test_evaluate_cell_fields(self):
+        cell = evaluate_cell("lsac", "none", learner="lr", seed=1, size_factor=0.03)
+        assert cell.dataset == "lsac"
+        assert cell.runtime_seconds > 0
+        assert 0.0 <= cell.report.balanced_accuracy <= 1.0
+
+    def test_aggregate_cells_averages_over_seeds(self):
+        aggregated = aggregate_cells(
+            "lsac", "none", learner="lr", n_repeats=2, base_seed=3, size_factor=0.03
+        )
+        assert aggregated.n_repeats == 2
+        row = aggregated.to_row()
+        assert set(row) >= {"dataset", "method", "learner", "DI*", "AOD*", "BalAcc"}
+
+    def test_aggregation_is_reproducible(self):
+        a = aggregate_cells("lsac", "none", learner="lr", n_repeats=2, base_seed=3, size_factor=0.03)
+        b = aggregate_cells("lsac", "none", learner="lr", n_repeats=2, base_seed=3, size_factor=0.03)
+        assert a.di_star_mean == pytest.approx(b.di_star_mean)
+
+
+class TestConfigAndReporting:
+    def test_config_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(datasets=())
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(n_repeats=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(size_factor=2.0)
+
+    def test_quick_config_is_smaller(self):
+        config = ExperimentConfig(n_repeats=5, size_factor=0.2)
+        quick = config.quick()
+        assert quick.n_repeats == 1
+        assert quick.size_factor <= 0.03
+
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # all lines equally wide
+
+    def test_render_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_figure_result_filter_rows(self):
+        figure = FigureResult(figure_id="x", title="t", rows=[{"m": "a", "v": 1}, {"m": "b", "v": 2}])
+        assert figure.filter_rows(m="a") == [{"m": "a", "v": 1}]
+
+    def test_figure_render_contains_title_and_notes(self):
+        figure = run_figure02()
+        text = figure.render()
+        assert "figure02" in text
+        assert "CONFAIR" in text

@@ -1,0 +1,140 @@
+"""Unit tests for the group-fairness metrics and reports."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.fairness import (
+    GroupMapping,
+    average_odds_difference,
+    average_odds_star,
+    disparate_impact,
+    disparate_impact_star,
+    equalized_odds_difference,
+    evaluate_predictions,
+    group_from_column,
+    group_from_threshold,
+    group_rates,
+)
+from repro.fairness.metrics import favors_minority, statistical_parity_difference
+
+# Hand-crafted evaluation: majority (group 0) has SR=0.75, minority SR=0.25.
+Y_TRUE = [1, 1, 0, 0, 1, 1, 0, 0]
+Y_PRED = [1, 1, 1, 0, 1, 0, 0, 0]
+GROUP = [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+class TestGroupRates:
+    def test_per_group_selection_rates(self):
+        rates = group_rates(Y_TRUE, Y_PRED, GROUP)
+        assert rates["majority"].selection_rate == pytest.approx(0.75)
+        assert rates["minority"].selection_rate == pytest.approx(0.25)
+        assert rates["majority"].n_samples == 4
+
+    def test_tpr_fpr_fnr(self):
+        rates = group_rates(Y_TRUE, Y_PRED, GROUP)
+        assert rates["majority"].tpr == pytest.approx(1.0)
+        assert rates["majority"].fpr == pytest.approx(0.5)
+        assert rates["minority"].tpr == pytest.approx(0.5)
+        assert rates["minority"].fnr == pytest.approx(0.5)
+
+    def test_missing_group_rejected(self):
+        with pytest.raises(ValidationError):
+            group_rates([0, 1], [0, 1], [0, 0])
+
+
+class TestDisparateImpact:
+    def test_raw_ratio(self):
+        assert disparate_impact(Y_TRUE, Y_PRED, GROUP) == pytest.approx(0.25 / 0.75)
+
+    def test_star_folds_above_one(self):
+        # Swap groups: the minority is now favored; DI* must fold back below 1.
+        swapped = [1 - g for g in GROUP]
+        di_star = disparate_impact_star(Y_TRUE, Y_PRED, swapped)
+        assert di_star == pytest.approx(1.0 / 3.0)
+
+    def test_parity_gives_one(self):
+        assert disparate_impact_star([1, 0, 1, 0], [1, 0, 1, 0], [0, 0, 1, 1]) == pytest.approx(1.0)
+
+    def test_zero_minority_selection_gives_zero(self):
+        assert disparate_impact_star([1, 1, 1, 1], [1, 1, 0, 0], [0, 0, 1, 1]) == 0.0
+
+    def test_zero_majority_selection_gives_zero_star(self):
+        assert disparate_impact_star([1, 1, 1, 1], [0, 0, 1, 1], [0, 0, 1, 1]) == 0.0
+
+    def test_favors_minority_flag(self):
+        assert not favors_minority(Y_TRUE, Y_PRED, GROUP)
+        assert favors_minority(Y_TRUE, Y_PRED, [1 - g for g in GROUP])
+
+    def test_statistical_parity_difference_sign(self):
+        assert statistical_parity_difference(Y_TRUE, Y_PRED, GROUP) == pytest.approx(-0.5)
+
+
+class TestAverageOdds:
+    def test_signed_value(self):
+        expected = ((0.0 - 0.5) + (0.5 - 1.0)) / 2.0
+        assert average_odds_difference(Y_TRUE, Y_PRED, GROUP) == pytest.approx(expected)
+
+    def test_star_reporting(self):
+        assert average_odds_star(Y_TRUE, Y_PRED, GROUP) == pytest.approx(1.0 - 0.5)
+
+    def test_equal_treatment_scores_one(self):
+        y_true = [1, 0, 1, 0]
+        y_pred = [1, 0, 1, 0]
+        assert average_odds_star(y_true, y_pred, [0, 0, 1, 1]) == pytest.approx(1.0)
+
+
+class TestEqualizedOdds:
+    def test_fnr_gap(self):
+        assert equalized_odds_difference(Y_TRUE, Y_PRED, GROUP, rate="fnr") == pytest.approx(0.5)
+
+    def test_fpr_gap(self):
+        assert equalized_odds_difference(Y_TRUE, Y_PRED, GROUP, rate="fpr") == pytest.approx(0.5)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValidationError):
+            equalized_odds_difference(Y_TRUE, Y_PRED, GROUP, rate="tnr")
+
+
+class TestFairnessReport:
+    def test_report_fields_consistent(self):
+        report = evaluate_predictions(Y_TRUE, Y_PRED, GROUP)
+        assert report.di_star == pytest.approx(disparate_impact_star(Y_TRUE, Y_PRED, GROUP))
+        assert report.selection_rate_majority == pytest.approx(0.75)
+        assert not report.degenerate
+        assert 0.0 <= report.balanced_accuracy <= 1.0
+
+    def test_degenerate_flag_for_single_class_predictions(self):
+        report = evaluate_predictions([0, 1, 0, 1], [0, 0, 0, 0], [0, 0, 1, 1])
+        assert report.degenerate
+
+    def test_to_dict_round_trip(self):
+        report = evaluate_predictions(Y_TRUE, Y_PRED, GROUP)
+        as_dict = report.to_dict()
+        assert as_dict["di_star"] == report.di_star
+        assert "aod_star" in as_dict
+
+
+class TestGroupMappings:
+    def test_group_from_column(self):
+        mapping = group_from_column(0, minority_values=["b"])
+        X = np.array([["a", 1], ["b", 2], ["b", 3]], dtype=object)
+        assert mapping(X).tolist() == [0, 1, 1]
+
+    def test_group_from_threshold(self):
+        mapping = group_from_threshold(1, threshold=35.0)
+        X = np.array([[0.0, 20.0], [0.0, 50.0]])
+        assert mapping(X).tolist() == [1, 0]
+
+    def test_threshold_above_is_minority(self):
+        mapping = group_from_threshold(0, threshold=10.0, below_is_minority=False)
+        assert mapping(np.array([[5.0], [15.0]])).tolist() == [0, 1]
+
+    def test_mapping_must_return_binary(self):
+        bad = GroupMapping(lambda X: np.full(len(X), 7))
+        with pytest.raises(ValidationError):
+            bad(np.zeros((3, 1)))
+
+    def test_empty_minority_values_rejected(self):
+        with pytest.raises(ValidationError):
+            group_from_column(0, minority_values=[])

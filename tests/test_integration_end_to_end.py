@@ -1,0 +1,115 @@
+"""Integration tests: full pipelines from dataset loading to fairness reports."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConFair,
+    DiffFair,
+    KamiranReweighing,
+    NoIntervention,
+    evaluate_predictions,
+    load_dataset,
+    make_learner,
+    split_dataset,
+)
+from repro.experiments import run_figure04, run_intervention_sweep
+
+
+class TestRealWorldPipeline:
+    """End-to-end run on a real-world surrogate with both learners."""
+
+    @pytest.fixture(scope="class")
+    def split(self):
+        data = load_dataset("acsi", size_factor=0.01, random_state=77)
+        return split_dataset(data, random_state=77)
+
+    @pytest.mark.parametrize("learner", ["lr", "xgb"])
+    def test_confair_full_pipeline(self, split, learner):
+        baseline = NoIntervention(learner=learner, random_state=0).fit(split.train)
+        base_report = evaluate_predictions(
+            split.deploy.y, baseline.predict(split.deploy.X), split.deploy.group
+        )
+        confair = ConFair(learner=learner, tuning_grid=(0.0, 1.0, 2.0), random_state=0).fit(
+            split.train, validation=split.validation
+        )
+        model = confair.fit_learner()
+        report = evaluate_predictions(
+            split.deploy.y, model.predict(split.deploy.X), split.deploy.group
+        )
+        # Non-invasive guarantee: the training data was never altered.
+        assert split.train.n_samples == confair.weights_.shape[0]
+        # Fairness does not get materially worse, utility stays usable.
+        assert report.di_star >= base_report.di_star - 0.12
+        assert report.balanced_accuracy > 0.5
+
+    def test_weights_transfer_between_learners(self, split):
+        confair = ConFair(learner="lr", alpha_u=1.0, random_state=0).fit(split.train)
+        xgb_model = make_learner("xgb", random_state=0, n_estimators=10)
+        xgb_model.fit(split.train.X, split.train.y, sample_weight=confair.weights_)
+        report = evaluate_predictions(
+            split.deploy.y, xgb_model.predict(split.deploy.X), split.deploy.group
+        )
+        assert not report.degenerate
+
+    def test_diffair_and_kam_complete(self, split):
+        diffair = DiffFair(learner="lr", random_state=0).fit(split.train, validation=split.validation)
+        diffair_report = evaluate_predictions(
+            split.deploy.y, diffair.predict(split.deploy.X), split.deploy.group
+        )
+        kam_model = KamiranReweighing(learner="lr").fit(split.train).fit_learner()
+        kam_report = evaluate_predictions(
+            split.deploy.y, kam_model.predict(split.deploy.X), split.deploy.group
+        )
+        assert 0.0 <= diffair_report.di_star <= 1.0
+        assert 0.0 <= kam_report.di_star <= 1.0
+
+
+class TestSyntheticDriftPipeline:
+    def test_diffair_beats_single_model_under_drift(self):
+        data = load_dataset("syn1", size_factor=0.2, random_state=99)
+        split = split_dataset(data, random_state=99)
+        baseline = NoIntervention(learner="lr", random_state=0).fit(split.train)
+        base_report = evaluate_predictions(
+            split.deploy.y, baseline.predict(split.deploy.X), split.deploy.group
+        )
+        diffair = DiffFair(learner="lr", random_state=0).fit(split.train)
+        diffair_report = evaluate_predictions(
+            split.deploy.y, diffair.predict(split.deploy.X), split.deploy.group
+        )
+        assert base_report.di_star < 0.75
+        assert diffair_report.di_star > base_report.di_star - 0.02
+
+
+class TestExperimentHarnessSmoke:
+    def test_figure04_runs(self):
+        figure = run_figure04(size_factor=0.02, random_state=1)
+        assert len(figure.rows) == 7
+
+    def test_intervention_sweep_runs(self):
+        figure = run_intervention_sweep(
+            dataset="lsac",
+            degrees=(0.0, 1.0),
+            targets=("di",),
+            size_factor=0.03,
+            random_state=1,
+        )
+        assert len(figure.rows) == 4  # 2 methods x 2 degrees
+        assert {row["method"] for row in figure.rows} == {"confair", "omn"}
+
+
+class TestReproducibility:
+    def test_same_seed_same_report(self):
+        def run_once():
+            data = load_dataset("lsac", size_factor=0.03, random_state=13)
+            split = split_dataset(data, random_state=13)
+            confair = ConFair(learner="lr", alpha_u=1.0, random_state=13).fit(split.train)
+            model = confair.fit_learner()
+            return evaluate_predictions(
+                split.deploy.y, model.predict(split.deploy.X), split.deploy.group
+            )
+
+        first = run_once()
+        second = run_once()
+        assert first.di_star == pytest.approx(second.di_star)
+        assert first.balanced_accuracy == pytest.approx(second.balanced_accuracy)

@@ -1,0 +1,84 @@
+"""Unit tests for the estimator base classes and the learner registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learners import (
+    GradientBoostingClassifier,
+    LogisticRegressionClassifier,
+    available_learners,
+    clone,
+    make_learner,
+)
+
+
+class TestBaseEstimator:
+    def test_get_params_reflects_constructor(self):
+        model = LogisticRegressionClassifier(learning_rate=0.2, max_iter=50)
+        params = model.get_params()
+        assert params["learning_rate"] == 0.2
+        assert params["max_iter"] == 50
+
+    def test_set_params_updates_and_returns_self(self):
+        model = LogisticRegressionClassifier()
+        returned = model.set_params(max_iter=10)
+        assert returned is model
+        assert model.max_iter == 10
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            LogisticRegressionClassifier().set_params(bogus=1)
+
+    def test_repr_contains_class_name(self):
+        assert "LogisticRegressionClassifier" in repr(LogisticRegressionClassifier())
+
+
+class TestClone:
+    def test_clone_copies_hyperparameters(self):
+        model = GradientBoostingClassifier(n_estimators=7, learning_rate=0.3)
+        copy = clone(model)
+        assert copy is not model
+        assert copy.n_estimators == 7
+        assert copy.learning_rate == 0.3
+
+    def test_clone_is_unfitted(self, linear_data):
+        X, y = linear_data
+        model = LogisticRegressionClassifier().fit(X, y)
+        copy = clone(model)
+        with pytest.raises(NotFittedError):
+            copy.predict(X)
+
+    def test_clone_does_not_share_mutable_params(self):
+        model = GradientBoostingClassifier(n_estimators=5)
+        copy = clone(model)
+        copy.n_estimators = 99
+        assert model.n_estimators == 5
+
+
+class TestRegistry:
+    def test_available_learners(self):
+        names = available_learners()
+        assert "lr" in names and "xgb" in names
+
+    def test_make_learner_types(self):
+        assert isinstance(make_learner("lr"), LogisticRegressionClassifier)
+        assert isinstance(make_learner("XGB"), GradientBoostingClassifier)
+
+    def test_overrides_applied(self):
+        model = make_learner("xgb", n_estimators=3)
+        assert model.n_estimators == 3
+
+    def test_unknown_learner(self):
+        with pytest.raises(ValidationError):
+            make_learner("svm")
+
+    def test_instances_are_independent(self):
+        a = make_learner("lr")
+        b = make_learner("lr")
+        assert a is not b
+
+    def test_score_method(self, linear_data):
+        X, y = linear_data
+        model = make_learner("lr").fit(X, y)
+        assert 0.0 <= model.score(X, y) <= 1.0

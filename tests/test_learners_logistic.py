@@ -1,0 +1,96 @@
+"""Unit tests for the logistic-regression learner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.learners import LogisticRegressionClassifier
+from repro.learners.metrics import accuracy_score
+
+
+class TestFit:
+    def test_learns_linear_boundary(self, linear_data):
+        X, y = linear_data
+        model = LogisticRegressionClassifier(max_iter=300).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_coefficient_signs_follow_generating_process(self, linear_data):
+        X, y = linear_data
+        model = LogisticRegressionClassifier(max_iter=300).fit(X, y)
+        # The generating logits are +2*x0 - 1.5*x1.
+        assert model.coef_[0] > 0
+        assert model.coef_[1] < 0
+
+    def test_single_class_data_predicts_that_class(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        model = LogisticRegressionClassifier().fit(X, np.ones(30, dtype=int))
+        assert set(model.predict(X)) == {1}
+
+    def test_predict_proba_shape_and_range(self, linear_data):
+        X, y = linear_data
+        proba = LogisticRegressionClassifier().fit(X, y).predict_proba(X)
+        assert proba.shape == (X.shape[0], 2)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_rejects_non_binary_labels(self, linear_data):
+        X, _ = linear_data
+        with pytest.raises(Exception):
+            LogisticRegressionClassifier().fit(X, np.full(X.shape[0], 3))
+
+    def test_convergence_flag_set(self, linear_data):
+        X, y = linear_data
+        model = LogisticRegressionClassifier(max_iter=500, tol=1e-7).fit(X, y)
+        assert isinstance(model.converged_, bool)
+        assert model.n_iter_ >= 1
+
+
+class TestSampleWeights:
+    def test_zero_weight_removes_influence(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] > 0).astype(int)
+        # Corrupt half the labels but give those rows zero weight.
+        corrupted = y.copy()
+        corrupted[:100] = 1 - corrupted[:100]
+        weights = np.ones(200)
+        weights[:100] = 0.0
+        weighted = LogisticRegressionClassifier(max_iter=300).fit(X, corrupted, sample_weight=weights)
+        clean_accuracy = accuracy_score(y[100:], weighted.predict(X[100:]))
+        assert clean_accuracy > 0.9
+
+    def test_upweighting_positive_class_raises_selection_rate(self, linear_data):
+        X, y = linear_data
+        plain = LogisticRegressionClassifier(max_iter=300).fit(X, y)
+        boosted_weights = np.where(y == 1, 5.0, 1.0)
+        boosted = LogisticRegressionClassifier(max_iter=300).fit(X, y, sample_weight=boosted_weights)
+        assert boosted.predict(X).mean() >= plain.predict(X).mean()
+
+    def test_weight_scale_invariance(self, linear_data):
+        X, y = linear_data
+        small = LogisticRegressionClassifier(max_iter=200).fit(X, y, sample_weight=np.full(len(y), 0.1))
+        large = LogisticRegressionClassifier(max_iter=200).fit(X, y, sample_weight=np.full(len(y), 10.0))
+        assert np.allclose(small.coef_, large.coef_, atol=1e-4)
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegressionClassifier().predict([[0.0, 1.0]])
+
+    def test_feature_count_mismatch(self, linear_data):
+        X, y = linear_data
+        model = LogisticRegressionClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(X[:, :2])
+
+    def test_no_intercept_option(self, linear_data):
+        X, y = linear_data
+        model = LogisticRegressionClassifier(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+
+    def test_get_params_round_trip(self):
+        model = LogisticRegressionClassifier(learning_rate=0.1, l2=0.01)
+        params = model.get_params()
+        assert params["learning_rate"] == 0.1
+        assert params["l2"] == 0.01

@@ -1,0 +1,107 @@
+"""Unit tests for splitting and hyper-parameter search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learners import GridSearch, LogisticRegressionClassifier, train_test_split
+from repro.learners.model_selection import three_way_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        X_train, X_test = train_test_split(X, test_size=0.25, random_state=0)
+        assert len(X_test) == 25
+        assert len(X_train) == 75
+
+    def test_no_overlap_and_full_coverage(self):
+        X = np.arange(50).reshape(-1, 1)
+        X_train, X_test = train_test_split(X, test_size=0.3, random_state=1)
+        combined = np.sort(np.concatenate([X_train.ravel(), X_test.ravel()]))
+        assert np.array_equal(combined, np.arange(50))
+
+    def test_multiple_arrays_stay_aligned(self):
+        X = np.arange(40).reshape(-1, 1)
+        y = np.arange(40) * 10
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=2)
+        assert np.array_equal(X_train.ravel() * 10, y_train)
+        assert np.array_equal(X_test.ravel() * 10, y_test)
+
+    def test_stratified_preserves_class_ratio(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.arange(100).reshape(-1, 1)
+        _, _, _, y_test = train_test_split(X, y, test_size=0.25, random_state=3, stratify=y)
+        assert abs(y_test.mean() - 0.2) < 0.05
+
+    def test_reproducible(self):
+        X = np.arange(30).reshape(-1, 1)
+        a = train_test_split(X, test_size=0.2, random_state=5)[1]
+        b = train_test_split(X, test_size=0.2, random_state=5)[1]
+        assert np.array_equal(a, b)
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.arange(10), test_size=1.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.arange(10), np.arange(9), test_size=0.2)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.array([1]), test_size=0.5)
+
+
+class TestGridSearch:
+    def test_picks_best_configuration(self, linear_data):
+        X, y = linear_data
+        X_train, X_val = X[:300], X[300:]
+        y_train, y_val = y[:300], y[300:]
+        search = GridSearch(
+            estimator=LogisticRegressionClassifier(max_iter=100),
+            param_grid={"l2": [1e-4, 100.0]},
+        ).fit(X_train, y_train, X_val, y_val)
+        # Heavy regularization destroys accuracy, so the small l2 must win.
+        assert search.best_params_["l2"] == pytest.approx(1e-4)
+        assert search.best_score_ > 0.7
+        assert len(search.results_) == 2
+
+    def test_empty_grid_still_fits_default(self, linear_data):
+        X, y = linear_data
+        search = GridSearch(estimator=LogisticRegressionClassifier(), param_grid={}).fit(
+            X[:300], y[:300], X[300:], y[300:]
+        )
+        assert search.best_params_ == {}
+        assert hasattr(search, "best_estimator_")
+
+    def test_predict_delegates_to_best(self, linear_data):
+        X, y = linear_data
+        search = GridSearch(estimator=LogisticRegressionClassifier(), param_grid={"l2": [1e-3]}).fit(
+            X[:300], y[:300], X[300:], y[300:]
+        )
+        assert search.predict(X[300:]).shape == (100,)
+
+    def test_predict_before_fit(self):
+        search = GridSearch(estimator=LogisticRegressionClassifier(), param_grid={})
+        with pytest.raises(ValidationError):
+            search.predict(np.zeros((2, 2)))
+
+
+class TestThreeWaySplit:
+    def test_proportions(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(1000, 3))
+        y = rng.integers(0, 2, size=1000)
+        group = rng.integers(0, 2, size=1000)
+        parts = three_way_split(X, y, group, validation_size=0.15, test_size=0.15, random_state=0)
+        X_tr, X_va, X_te = parts[0], parts[1], parts[2]
+        assert abs(len(X_tr) - 700) < 40
+        assert abs(len(X_va) - 150) < 40
+        assert abs(len(X_te) - 150) < 40
+
+    def test_invalid_sizes(self):
+        X = np.zeros((10, 1))
+        y = np.zeros(10, dtype=int)
+        with pytest.raises(ValidationError):
+            three_way_split(X, y, y, validation_size=0.6, test_size=0.5)

@@ -1,0 +1,105 @@
+"""Unit tests for the scaler and one-hot encoder transformers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learners import MinMaxScaler, OneHotEncoder, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, size=(500, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled[:, 0], 0.0)
+        assert np.isfinite(scaled).all()
+
+    def test_inverse_transform_round_trip(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_uses_training_statistics(self, rng):
+        X_train = rng.normal(10.0, 2.0, size=(100, 2))
+        X_test = rng.normal(0.0, 1.0, size=(10, 2))
+        scaler = StandardScaler().fit(X_train)
+        transformed = scaler.transform(X_test)
+        # Test data far from the training mean maps far from zero.
+        assert transformed.mean() < -2.0
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_feature_count_mismatch(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(rng.normal(size=(5, 2)))
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self, rng):
+        X = rng.uniform(-5, 7, size=(200, 3))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.allclose(scaled.min(axis=0), 0.0)
+        assert np.allclose(scaled.max(axis=0), 1.0)
+
+    def test_out_of_range_values_allowed_by_default(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[20.0]]))[0, 0] == pytest.approx(2.0)
+
+    def test_clip_option(self):
+        scaler = MinMaxScaler(clip=True).fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[20.0]]))[0, 0] == pytest.approx(1.0)
+
+    def test_constant_column(self):
+        scaled = MinMaxScaler().fit_transform(np.full((5, 1), 3.0))
+        assert np.allclose(scaled, 0.0)
+
+    def test_inverse_round_trip(self, rng):
+        X = rng.uniform(0, 100, size=(40, 2))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        X = np.array([["a"], ["b"], ["a"], ["c"]], dtype=object)
+        encoded = OneHotEncoder().fit_transform(X)
+        assert encoded.shape == (4, 3)
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+
+    def test_multiple_columns(self):
+        X = np.array([["a", "x"], ["b", "y"], ["a", "x"]], dtype=object)
+        encoder = OneHotEncoder().fit(X)
+        assert encoder.transform(X).shape == (3, 4)
+        assert len(encoder.feature_names_) == 4
+
+    def test_unknown_category_ignored_by_default(self):
+        encoder = OneHotEncoder().fit(np.array([["a"], ["b"]], dtype=object))
+        encoded = encoder.transform(np.array([["z"]], dtype=object))
+        assert np.allclose(encoded, 0.0)
+
+    def test_unknown_category_error_mode(self):
+        encoder = OneHotEncoder(handle_unknown="error").fit(np.array([["a"], ["b"]], dtype=object))
+        with pytest.raises(ValidationError):
+            encoder.transform(np.array([["z"]], dtype=object))
+
+    def test_integer_categories_supported(self):
+        X = np.array([[1], [2], [1]], dtype=object)
+        assert OneHotEncoder().fit_transform(X).shape == (3, 2)
+
+    def test_invalid_handle_unknown(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(handle_unknown="nonsense")
+
+    def test_column_count_mismatch(self):
+        encoder = OneHotEncoder().fit(np.array([["a", "x"]], dtype=object))
+        with pytest.raises(ValidationError):
+            encoder.transform(np.array([["a"]], dtype=object))

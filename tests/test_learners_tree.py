@@ -1,0 +1,87 @@
+"""Unit tests for the decision-tree learners."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.learners import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestRegressor:
+    def test_fits_piecewise_constant_function(self):
+        X = np.linspace(0, 1, 200).reshape(-1, 1)
+        y = np.where(X[:, 0] < 0.5, 1.0, 3.0)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        predictions = tree.predict(X)
+        assert np.allclose(predictions[X[:, 0] < 0.5], 1.0, atol=0.05)
+        assert np.allclose(predictions[X[:, 0] >= 0.5], 3.0, atol=0.05)
+
+    def test_respects_max_depth(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 3))
+        y = rng.normal(size=300)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert tree.depth_ <= 2
+
+    def test_constant_target_yields_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, np.full(50, 2.5))
+        assert tree.n_leaves_ == 1
+        assert np.allclose(tree.predict(X), 2.5)
+
+    def test_min_samples_leaf_respected(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = (X[:, 0] > 15).astype(float)
+        tree = DecisionTreeRegressor(max_depth=5, min_samples_leaf=8).fit(X, y)
+
+        def smallest_leaf(node):
+            if node.is_leaf:
+                return node.n_samples
+            return min(smallest_leaf(node.left), smallest_leaf(node.right))
+
+        assert smallest_leaf(tree.root_) >= 8
+
+    def test_sample_weights_steer_split(self):
+        # Two candidate splits; weights make the second one dominant.
+        X = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 25, dtype=float)
+        y = X[:, 1]  # feature 1 is the true signal
+        weights = np.ones(len(y))
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y, sample_weight=weights)
+        assert tree.root_.feature == 1
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict([[1.0]])
+
+    def test_feature_mismatch_raises(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        tree = DecisionTreeRegressor().fit(X, X[:, 0])
+        with pytest.raises(ValueError):
+            tree.predict(X[:, :2])
+
+    def test_weighted_mean_prediction_at_root(self):
+        X = np.ones((10, 1))
+        y = np.arange(10, dtype=float)
+        weights = np.zeros(10)
+        weights[-1] = 1.0
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y, sample_weight=weights)
+        assert tree.predict([[1.0]])[0] == pytest.approx(9.0)
+
+
+class TestClassifier:
+    def test_separable_problem(self, linear_data):
+        X, y = linear_data
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_proba_matches_leaf_positive_rate(self):
+        X = np.array([[0.0], [0.0], [0.0], [1.0], [1.0], [1.0]])
+        y = np.array([0, 0, 1, 1, 1, 1])
+        model = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        proba = model.predict_proba(np.array([[0.0], [1.0]]))
+        assert proba[0, 1] == pytest.approx(1.0 / 3.0)
+        assert proba[1, 1] == pytest.approx(1.0)
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(Exception):
+            DecisionTreeClassifier().fit([[1.0], [2.0]], [1, 2])

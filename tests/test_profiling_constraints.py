@@ -1,0 +1,126 @@
+"""Unit tests for conformance constraints and their violation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConstraintError
+from repro.profiling import ConformanceConstraint, ConstraintSet, Projection, discover_constraints
+from repro.profiling.discovery import DiscoveryConfig
+
+
+def make_constraint(lower=-1.0, upper=1.0, std=0.5, coefficients=(1.0, 0.0)):
+    return ConformanceConstraint(Projection(coefficients), lower=lower, upper=upper, std=std)
+
+
+class TestConformanceConstraint:
+    def test_zero_violation_inside_bounds(self):
+        constraint = make_constraint()
+        X = np.array([[0.0, 5.0], [0.99, -2.0], [-1.0, 0.0]])
+        assert np.allclose(constraint.violations(X), 0.0)
+        assert constraint.satisfied(X).all()
+
+    def test_violation_grows_with_distance(self):
+        constraint = make_constraint()
+        near = constraint.violations(np.array([[1.2, 0.0]]))[0]
+        far = constraint.violations(np.array([[5.0, 0.0]]))[0]
+        assert 0 < near < far < 1.0
+
+    def test_violation_formula_matches_paper(self):
+        constraint = make_constraint(lower=0.0, upper=1.0, std=0.5)
+        value = 2.0  # distance 1.0 above the upper bound
+        expected = 1.0 - np.exp(-1.0 / 0.5)
+        assert constraint.violations(np.array([[value, 0.0]]))[0] == pytest.approx(expected)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConstraintError):
+            make_constraint(lower=2.0, upper=1.0)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ConstraintError):
+            make_constraint(std=-0.1)
+
+    def test_describe_mentions_bounds(self):
+        text = make_constraint().describe(["x0", "x1"])
+        assert "<=" in text and "x0" in text
+
+
+class TestConstraintSet:
+    def test_weights_sum_to_one(self):
+        constraints = [make_constraint(std=s) for s in (0.1, 0.5, 1.0)]
+        assert ConstraintSet(constraints).weights.sum() == pytest.approx(1.0)
+
+    def test_lower_std_gets_higher_weight(self):
+        constraints = [make_constraint(std=0.1), make_constraint(std=1.0)]
+        weights = ConstraintSet(constraints).weights
+        assert weights[0] > weights[1]
+
+    def test_equal_stds_give_uniform_weights(self):
+        constraints = [make_constraint(std=0.4) for _ in range(4)]
+        assert np.allclose(ConstraintSet(constraints).weights, 0.25)
+
+    def test_violation_zero_for_conforming_rows(self):
+        constraint_set = ConstraintSet([make_constraint(), make_constraint(coefficients=(0.0, 1.0))])
+        X = np.array([[0.0, 0.0]])
+        assert constraint_set.violation(X)[0] == pytest.approx(0.0)
+        assert constraint_set.conforming_mask(X)[0]
+
+    def test_empty_set_has_zero_violation(self):
+        assert ConstraintSet([]).violation(np.zeros((3, 2))).tolist() == [0.0, 0.0, 0.0]
+
+    def test_violation_bounded_by_one(self, rng):
+        constraint_set = ConstraintSet([make_constraint(), make_constraint(coefficients=(0.0, 1.0))])
+        X = rng.normal(scale=50.0, size=(100, 2))
+        violations = constraint_set.violation(X)
+        assert np.all(violations >= 0.0) and np.all(violations <= 1.0)
+
+    def test_describe_lists_all_constraints(self):
+        constraint_set = ConstraintSet([make_constraint(), make_constraint()], label="demo")
+        assert constraint_set.describe().count("<=") == 4  # two bounds per constraint
+
+
+class TestDiscoverConstraints:
+    def test_profiled_data_mostly_conforms(self, rng):
+        X = rng.normal(size=(300, 3))
+        constraint_set = discover_constraints(X)
+        violations = constraint_set.violation(X)
+        # With bounds at ±1.5 std, the bulk of the profiled data conforms.
+        assert np.mean(violations == 0.0) > 0.5
+
+    def test_outliers_violate(self, rng):
+        X = rng.normal(size=(300, 3))
+        constraint_set = discover_constraints(X)
+        outliers = np.full((5, 3), 25.0)
+        assert np.all(constraint_set.violation(outliers) > 0.5)
+
+    def test_shifted_data_violates_more(self, rng):
+        X = rng.normal(size=(200, 4))
+        constraint_set = discover_constraints(X)
+        shifted = X + 4.0
+        assert constraint_set.violation(shifted).mean() > constraint_set.violation(X).mean()
+
+    def test_requires_two_rows(self):
+        with pytest.raises(ConstraintError):
+            discover_constraints(np.zeros((1, 3)))
+
+    def test_bound_factor_controls_tightness(self, rng):
+        X = rng.normal(size=(200, 2))
+        tight = discover_constraints(X, config=DiscoveryConfig(bound_factor=0.5))
+        loose = discover_constraints(X, config=DiscoveryConfig(bound_factor=3.0))
+        assert tight.violation(X).mean() > loose.violation(X).mean()
+
+    def test_constant_data_all_conforms(self):
+        X = np.ones((20, 3))
+        constraint_set = discover_constraints(X)
+        assert np.allclose(constraint_set.violation(X), 0.0)
+
+    def test_invalid_config_values(self):
+        with pytest.raises(ConstraintError):
+            DiscoveryConfig(bound_factor=0.0)
+        with pytest.raises(ConstraintError):
+            DiscoveryConfig(max_relative_std=0.0)
+        with pytest.raises(ConstraintError):
+            DiscoveryConfig(min_constraints=0)
+
+    def test_label_is_attached(self, rng):
+        constraint_set = discover_constraints(rng.normal(size=(50, 2)), label="W:y=1")
+        assert constraint_set.label == "W:y=1"

@@ -1,0 +1,75 @@
+"""Unit tests for projection discovery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConstraintError
+from repro.profiling import Projection, discover_projections
+
+
+class TestProjection:
+    def test_evaluate_is_linear_combination(self):
+        projection = Projection((2.0, -1.0))
+        values = projection.evaluate(np.array([[1.0, 1.0], [0.0, 3.0]]))
+        assert values.tolist() == [1.0, -3.0]
+
+    def test_describe_skips_zero_coefficients(self):
+        text = Projection((1.0, 0.0, -0.5)).describe(["a", "b", "c"])
+        assert "a" in text and "c" in text and "b" not in text
+
+    def test_rejects_empty_coefficients(self):
+        with pytest.raises(ConstraintError):
+            Projection(())
+
+    def test_rejects_nan_coefficients(self):
+        with pytest.raises(ConstraintError):
+            Projection((float("nan"), 1.0))
+
+    def test_feature_count_mismatch(self):
+        with pytest.raises(ConstraintError):
+            Projection((1.0, 2.0)).evaluate(np.zeros((3, 3)))
+
+    def test_is_hashable_and_frozen(self):
+        projection = Projection((1.0, 0.0))
+        assert hash(projection) == hash(Projection((1.0, 0.0)))
+
+
+class TestDiscoverProjections:
+    def test_simple_projections_one_per_feature(self, rng):
+        X = rng.normal(size=(50, 4))
+        bundle = discover_projections(X, include_pca=False)
+        assert len(bundle) == 4
+        assert all(p.kind == "simple" for p in bundle.projections)
+
+    def test_pca_projections_added(self, rng):
+        X = rng.normal(size=(80, 3))
+        bundle = discover_projections(X)
+        kinds = {p.kind for p in bundle.projections}
+        assert kinds == {"simple", "pca"}
+        assert len(bundle) == 6
+
+    def test_pca_finds_low_variance_direction(self, rng):
+        # x1 ~= 2*x0, so the direction (2, -1)/norm has near-zero variance.
+        x0 = rng.normal(size=500)
+        X = np.column_stack([x0, 2.0 * x0 + rng.normal(0, 0.01, size=500)])
+        bundle = discover_projections(X, include_simple=False)
+        lowest = bundle.projections[int(np.argmin(bundle.variances))]
+        coefficients = np.asarray(lowest.coefficients)
+        direction = coefficients / np.linalg.norm(coefficients)
+        expected = np.array([2.0, -1.0]) / np.sqrt(5.0)
+        assert min(np.linalg.norm(direction - expected), np.linalg.norm(direction + expected)) < 0.05
+
+    def test_max_pca_components_cap(self, rng):
+        X = rng.normal(size=(60, 5))
+        bundle = discover_projections(X, include_simple=False, max_pca_components=2)
+        assert len(bundle) == 2
+
+    def test_variances_are_nonnegative(self, rng):
+        X = rng.normal(size=(40, 3))
+        bundle = discover_projections(X)
+        assert all(v >= 0 for v in bundle.variances)
+
+    def test_single_feature_has_no_pca(self, rng):
+        X = rng.normal(size=(30, 1))
+        bundle = discover_projections(X)
+        assert all(p.kind == "simple" for p in bundle.projections)

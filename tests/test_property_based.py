@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the invariants the rest of the system relies on:
+
+* fairness metrics stay in their documented ranges and are symmetric where
+  they should be;
+* conformance-constraint violations are bounded, zero inside the bounds, and
+  monotone in the distance from the profiled region;
+* the learners' probability outputs are valid distributions under arbitrary
+  (valid) sample weights;
+* dataset splitting is a partition (no loss, no duplication).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.datasets import Dataset, split_dataset
+from repro.fairness import disparate_impact_star, evaluate_predictions
+from repro.learners import LogisticRegressionClassifier
+from repro.learners.metrics import balanced_accuracy_score
+from repro.profiling import discover_constraints
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def labelled_arrays(min_size=8, max_size=60):
+    """Strategy producing (y_true, y_pred, group) with both groups present."""
+
+    @st.composite
+    def build(draw):
+        size = draw(st.integers(min_size, max_size))
+        y_true = draw(npst.arrays(np.int8, size, elements=st.integers(0, 1)))
+        y_pred = draw(npst.arrays(np.int8, size, elements=st.integers(0, 1)))
+        group = draw(npst.arrays(np.int8, size, elements=st.integers(0, 1)))
+        # Force both groups to be present.
+        group[0] = 0
+        group[-1] = 1
+        return y_true, y_pred, group
+
+    return build()
+
+
+class TestFairnessMetricProperties:
+    @SETTINGS
+    @given(labelled_arrays())
+    def test_metric_ranges(self, arrays):
+        y_true, y_pred, group = arrays
+        report = evaluate_predictions(y_true, y_pred, group)
+        assert 0.0 <= report.di_star <= 1.0
+        assert 0.0 <= report.aod_star <= 1.0
+        assert 0.0 <= report.balanced_accuracy <= 1.0
+        assert 0.0 <= report.eq_odds_fnr <= 1.0
+        assert 0.0 <= report.eq_odds_fpr <= 1.0
+
+    @SETTINGS
+    @given(labelled_arrays())
+    def test_di_star_symmetric_under_group_swap(self, arrays):
+        y_true, y_pred, group = arrays
+        original = disparate_impact_star(y_true, y_pred, group)
+        swapped = disparate_impact_star(y_true, y_pred, 1 - group)
+        assert original == swapped or abs(original - swapped) < 1e-12
+
+    @SETTINGS
+    @given(labelled_arrays())
+    def test_perfect_predictions_have_max_balanced_accuracy(self, arrays):
+        y_true, _, group = arrays
+        assert balanced_accuracy_score(y_true, y_true) in (0.5, 1.0)
+        report = evaluate_predictions(y_true, y_true, group)
+        assert report.aod_star == 1.0
+
+
+class TestConstraintProperties:
+    @SETTINGS
+    @given(
+        npst.arrays(
+            np.float64,
+            st.tuples(st.integers(10, 60), st.integers(2, 4)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    def test_violations_bounded_and_nonnegative(self, X):
+        if np.allclose(X.std(axis=0), 0.0):
+            X = X + np.random.default_rng(0).normal(0, 1e-3, size=X.shape)
+        constraint_set = discover_constraints(X)
+        violations = constraint_set.violation(X)
+        assert np.all(violations >= 0.0)
+        assert np.all(violations <= 1.0)
+
+    @SETTINGS
+    @given(
+        npst.arrays(
+            np.float64,
+            st.tuples(st.integers(20, 60), st.integers(2, 3)),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        st.floats(1.0, 20.0),
+    )
+    def test_shifting_away_never_decreases_mean_violation(self, X, shift):
+        if np.allclose(X.std(axis=0), 0.0):
+            X = X + np.random.default_rng(1).normal(0, 1e-3, size=X.shape)
+        constraint_set = discover_constraints(X)
+        near = constraint_set.violation(X + shift).mean()
+        far = constraint_set.violation(X + 3 * shift).mean()
+        assert far >= near - 1e-9
+
+    @SETTINGS
+    @given(
+        npst.arrays(
+            np.float64,
+            st.tuples(st.integers(10, 40), st.integers(2, 3)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    def test_weights_form_distribution(self, X):
+        if np.allclose(X.std(axis=0), 0.0):
+            X = X + np.random.default_rng(2).normal(0, 1e-3, size=X.shape)
+        constraint_set = discover_constraints(X)
+        weights = constraint_set.weights
+        assert np.all(weights >= 0.0)
+        assert weights.sum() == 1.0 or abs(weights.sum() - 1.0) < 1e-9
+
+
+class TestLearnerProperties:
+    @SETTINGS
+    @given(
+        st.integers(20, 80),
+        st.floats(0.1, 10.0),
+    )
+    def test_probabilities_valid_under_weights(self, n_samples, weight_scale):
+        rng = np.random.default_rng(n_samples)
+        X = rng.normal(size=(n_samples, 3))
+        y = (X[:, 0] > 0).astype(int)
+        if y.min() == y.max():
+            y[0] = 1 - y[0]
+        weights = rng.uniform(0.1, 1.0, size=n_samples) * weight_scale
+        model = LogisticRegressionClassifier(max_iter=60).fit(X, y, sample_weight=weights)
+        proba = model.predict_proba(X)
+        assert np.all(proba >= 0.0) and np.all(proba <= 1.0)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestSplitProperties:
+    @SETTINGS
+    @given(st.integers(60, 200), st.integers(0, 1000))
+    def test_split_is_a_partition(self, n_samples, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n_samples, 3))
+        # Unique marker column lets us track rows across the split.
+        X[:, 0] = np.arange(n_samples)
+        y = rng.integers(0, 2, size=n_samples)
+        group = rng.integers(0, 2, size=n_samples)
+        # Guarantee every (group, label) cell is populated.
+        y[:4] = [0, 0, 1, 1]
+        group[:4] = [0, 1, 0, 1]
+        data = Dataset(X=X, y=y, group=group)
+        split = split_dataset(data, random_state=seed)
+        markers = np.concatenate([part.X[:, 0] for part in split])
+        assert len(markers) == n_samples
+        assert set(markers.astype(int).tolist()) == set(range(n_samples))

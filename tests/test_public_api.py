@@ -1,0 +1,54 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_classes_exported(self):
+        assert repro.ConFair is not None
+        assert repro.DiffFair is not None
+        assert repro.KamiranReweighing is not None
+        assert repro.OmniFairReweighing is not None
+        assert repro.CapuchinRepair is not None
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.DatasetError, repro.ReproError)
+        assert issubclass(repro.ConstraintError, repro.ReproError)
+        assert issubclass(repro.ValidationError, repro.ReproError)
+        assert issubclass(repro.ValidationError, ValueError)
+        assert issubclass(repro.NotFittedError, repro.ReproError)
+
+    def test_quickstart_from_docstring_runs(self):
+        """The module docstring's quickstart must actually work."""
+        data = repro.load_dataset("lsac", size_factor=0.03, random_state=7)
+        split = repro.split_dataset(data, random_state=7)
+        confair = repro.ConFair(learner="lr", tuning_grid=(0.0, 1.0)).fit(
+            split.train, validation=split.validation
+        )
+        model = confair.fit_learner()
+        report = repro.evaluate_predictions(
+            split.deploy.y, model.predict(split.deploy.X), split.deploy.group
+        )
+        assert 0.0 <= report.di_star <= 1.0
+
+    def test_available_datasets_contains_paper_benchmarks(self):
+        names = repro.available_datasets()
+        for expected in ("meps", "lsac", "credit", "acsp", "acsh", "acse", "acsi", "syn1"):
+            assert expected in names
+
+    def test_make_learner_accessible(self):
+        assert repro.make_learner("lr") is not None
+
+    def test_dataset_error_raised_for_unknown(self):
+        with pytest.raises(repro.DatasetError):
+            repro.load_dataset("does-not-exist")

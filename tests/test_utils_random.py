@@ -1,0 +1,65 @@
+"""Unit tests for repro.utils.random."""
+
+import numpy as np
+import pytest
+
+from repro.utils.random import check_random_state, resolve_seed, spawn_seeds
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = check_random_state(42).integers(0, 1000, size=5)
+        b = check_random_state(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).integers(0, 10**6, size=8)
+        b = check_random_state(2).integers(0, 10**6, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert check_random_state(generator) is generator
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(check_random_state(np.int64(3)), np.random.Generator)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(TypeError):
+            check_random_state(-1)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            check_random_state("seed")
+
+
+class TestSpawnSeeds:
+    def test_count_and_reproducibility(self):
+        assert spawn_seeds(7, 4) == spawn_seeds(7, 4)
+        assert len(spawn_seeds(7, 4)) == 4
+
+    def test_zero_seeds(self):
+        assert spawn_seeds(7, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(7, -1)
+
+    def test_seeds_are_distinct_in_practice(self):
+        seeds = spawn_seeds(11, 10)
+        assert len(set(seeds)) == 10
+
+
+class TestResolveSeed:
+    def test_none_stays_none(self):
+        assert resolve_seed(None) is None
+
+    def test_int_offset(self):
+        assert resolve_seed(10, offset=5) == 15
+
+    def test_generator_draws_an_int(self):
+        value = resolve_seed(np.random.default_rng(0))
+        assert isinstance(value, int)

@@ -1,0 +1,121 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_binary_labels,
+    check_consistent_length,
+    check_sample_weight,
+    check_X_y,
+)
+
+
+class TestCheckArray:
+    def test_converts_lists_to_float_matrix(self):
+        result = check_array([[1, 2], [3, 4]])
+        assert result.dtype == np.float64
+        assert result.shape == (2, 2)
+
+    def test_reshapes_1d_to_column(self):
+        assert check_array([1.0, 2.0, 3.0]).shape == (3, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_array(np.empty((0, 3)))
+
+    def test_allows_empty_when_requested(self):
+        result = check_array(np.empty((0, 3)), allow_empty=True)
+        assert result.shape == (0, 3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_array([[np.inf, 1.0]])
+
+    def test_rejects_3d_when_2d_required(self):
+        with pytest.raises(ValidationError):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_array([["a", "b"]])
+
+    def test_error_message_uses_name(self):
+        with pytest.raises(ValidationError, match="weights"):
+            check_array(np.empty((0, 1)), name="weights")
+
+
+class TestCheckXY:
+    def test_matching_lengths(self):
+        X, y = check_X_y([[1.0], [2.0]], [0, 1])
+        assert X.shape == (2, 1)
+        assert y.shape == (2,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="inconsistent"):
+            check_X_y([[1.0], [2.0]], [0, 1, 1])
+
+    def test_ravels_column_labels(self):
+        _, y = check_X_y([[1.0], [2.0]], [[0], [1]])
+        assert y.shape == (2,)
+
+
+class TestCheckBinaryLabels:
+    def test_accepts_zero_one(self):
+        result = check_binary_labels([0, 1, 1, 0])
+        assert result.dtype == np.int64
+
+    def test_accepts_single_class(self):
+        assert check_binary_labels([1, 1, 1]).tolist() == [1, 1, 1]
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValidationError):
+            check_binary_labels([0, 1, 2])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_binary_labels([-1, 1])
+
+
+class TestCheckSampleWeight:
+    def test_none_gives_unit_weights(self):
+        weights = check_sample_weight(None, 5)
+        assert np.allclose(weights, 1.0)
+
+    def test_passes_through_valid_weights(self):
+        weights = check_sample_weight([0.5, 1.5, 2.0], 3)
+        assert weights.tolist() == [0.5, 1.5, 2.0]
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValidationError):
+            check_sample_weight([1.0, 2.0], 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_sample_weight([1.0, -0.1], 2)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValidationError):
+            check_sample_weight([0.0, 0.0], 2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_sample_weight([1.0, np.nan], 2)
+
+
+class TestCheckConsistentLength:
+    def test_accepts_equal_lengths(self):
+        check_consistent_length([1, 2], [3, 4])
+
+    def test_skips_none(self):
+        check_consistent_length([1, 2], None, [3, 4])
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValidationError):
+            check_consistent_length([1, 2], [3])
