@@ -3,23 +3,17 @@
 Scenario: a lender serves two populations whose credit behaviour follows
 *different* patterns (rotated class boundaries and shifted feature ranges).
 A single model — however it is reweighed — cannot conform to both groups.
-The script shows how DiffFair trains one model per group and routes each
-serving applicant to the model whose conformance constraints it violates the
-least, without ever reading the group attribute at serving time.
+The script compares three interventions through one ``FairnessPipeline``
+surface and then inspects how DiffFair routes each serving applicant to the
+model whose conformance constraints it violates the least, without ever
+reading the group attribute at serving time.
 
 Run with:  python examples/drift_routing_diffair.py
 """
 
 import numpy as np
 
-from repro import (
-    ConFair,
-    DiffFair,
-    NoIntervention,
-    evaluate_predictions,
-    make_drifted_groups,
-    split_dataset,
-)
+from repro import FairnessPipeline, make_drifted_groups, split_dataset
 
 
 def report_line(name, report) -> str:
@@ -43,32 +37,33 @@ def main() -> None:
     )
     split = split_dataset(data, random_state=7)
 
-    baseline = NoIntervention(learner="lr").fit(split.train)
-    base_report = evaluate_predictions(
-        split.deploy.y, baseline.predict(split.deploy.X), split.deploy.group
-    )
+    # One facade, three interventions: the pipeline hides that "none" trains a
+    # plain model, ConFair reweighs, and DiffFair splits and routes.
+    results = {}
+    for method, params in (
+        ("none", None),
+        ("confair", {"tuning_grid": (0.0, 1.0, 2.0, 3.0)}),
+        ("diffair", None),
+    ):
+        results[method] = FairnessPipeline(
+            intervention=method,
+            learner="lr",
+            dataset=split,
+            seed=7,
+            intervention_params=params,
+        ).run()
 
-    confair = ConFair(learner="lr", tuning_grid=(0.0, 1.0, 2.0, 3.0)).fit(
-        split.train, validation=split.validation
-    )
-    confair_report = evaluate_predictions(
-        split.deploy.y, confair.fit_learner().predict(split.deploy.X), split.deploy.group
-    )
-
-    diffair = DiffFair(learner="lr").fit(split.train, validation=split.validation)
-    diffair_report = evaluate_predictions(
-        split.deploy.y, diffair.predict(split.deploy.X), split.deploy.group
-    )
-
-    print(report_line("baseline", base_report))
-    print(report_line("ConFair", confair_report))
-    print(report_line("DiffFair", diffair_report))
+    print(report_line("baseline", results["none"].report))
+    print(report_line("ConFair", results["confair"].report))
+    print(report_line("DiffFair", results["diffair"].report))
 
     # Inspect the routing: how often does the conformance-based router agree
     # with the (hidden) group attribute, and how are tuples distributed?
+    diffair = results["diffair"].intervention
     routes = diffair.route(split.deploy.X)
     agreement = float(np.mean(routes == split.deploy.group))
-    print(f"\nDiffFair routing: {np.mean(routes == 1):.1%} of serving tuples go to the "
+    fraction = results["diffair"].details["minority_model_fraction"]
+    print(f"\nDiffFair routing: {fraction:.1%} of serving tuples go to the "
           f"minority-trained model; agreement with the true group attribute = {agreement:.1%}")
 
     # Show the learned conformance constraints for the minority-positive partition.

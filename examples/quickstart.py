@@ -1,49 +1,44 @@
-"""Quickstart: repair an unfair model with ConFair in ~30 lines.
+"""Quickstart: repair an unfair model with the FairnessPipeline facade.
 
-The script loads the LSAC surrogate benchmark (predicting bar-exam passage,
-with African-American applicants as the under-represented minority), trains a
-plain logistic-regression model, measures its group fairness, and then
-retrains the same learner on ConFair's conformance-derived weights.
+The script evaluates the LSAC surrogate benchmark (predicting bar-exam
+passage, with African-American applicants as the under-represented minority)
+twice through the same pipeline: once with no intervention, once with ConFair
+(conformance-driven reweighing, auto-tuned on the validation split).  Each
+run loads the data, splits it 70/15/15, fits the intervention, trains the
+final model through the uniform ``make_model`` protocol, and evaluates the
+deploy set — the pipeline hides every family-specific difference.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import ConFair, NoIntervention, evaluate_predictions, load_dataset, split_dataset
+from repro import FairnessPipeline
 
 
 def main() -> None:
-    # 1. Load a benchmark dataset and split it 70/15/15 (train/validation/deploy).
-    data = load_dataset("lsac", random_state=42)
-    split = split_dataset(data, random_state=42)
-    print(f"dataset: {data.name}  rows={data.n_samples}  "
-          f"minority={data.minority_fraction:.1%}  positive={data.positive_rate:.1%}")
+    # 1. Baseline: the plain learner, run through the same facade.
+    baseline = FairnessPipeline(
+        intervention="none", learner="lr", dataset="lsac", seed=42
+    ).run()
+    print(f"dataset: {baseline.dataset}  learner: {baseline.learner}  seed: {baseline.seed}")
 
-    # 2. Baseline: train the learner with no intervention.
-    baseline = NoIntervention(learner="lr").fit(split.train)
-    base_report = evaluate_predictions(
-        split.deploy.y, baseline.predict(split.deploy.X), split.deploy.group
-    )
-
-    # 3. ConFair: profile the training data with conformance constraints,
+    # 2. ConFair: profile the training data with conformance constraints,
     #    auto-tune the intervention degree on the validation split, and train
     #    the same learner on the resulting weights.  The data itself is never
     #    modified — that is the "non-invasive" guarantee.
-    confair = ConFair(learner="lr").fit(split.train, validation=split.validation)
-    model = confair.fit_learner()
-    fair_report = evaluate_predictions(
-        split.deploy.y, model.predict(split.deploy.X), split.deploy.group
-    )
+    treated = FairnessPipeline(
+        intervention="confair", learner="lr", dataset="lsac", seed=42
+    ).run()
 
-    # 4. Compare.
-    print(f"\nchosen intervention degree alpha_u = {confair.alpha_u_:.2f}")
+    # 3. Compare.
+    print(f"\nchosen intervention degree alpha_u = {treated.details['alpha_u']:.2f}")
     print(f"{'metric':<22}{'baseline':>10}{'ConFair':>10}")
     for label, attribute in (
         ("Disparate Impact*", "di_star"),
         ("Avg Odds Difference*", "aod_star"),
         ("Balanced accuracy", "balanced_accuracy"),
     ):
-        print(f"{label:<22}{getattr(base_report, attribute):>10.3f}"
-              f"{getattr(fair_report, attribute):>10.3f}")
+        print(f"{label:<22}{getattr(baseline.report, attribute):>10.3f}"
+              f"{getattr(treated.report, attribute):>10.3f}")
 
 
 if __name__ == "__main__":

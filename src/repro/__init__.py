@@ -9,16 +9,26 @@ Constraints profiling primitive, kernel density estimation, fairness metrics,
 benchmark dataset surrogates, the baselines the paper compares against, and
 an experiment harness that regenerates every figure of the evaluation.
 
+Every method is exposed through one estimator surface: the
+:class:`~repro.interventions.Intervention` protocol and its registry
+(:func:`make_intervention`, :func:`available_interventions`), composed end to
+end by the :class:`~repro.interventions.FairnessPipeline` facade.
+
 Quickstart::
 
-    from repro import load_dataset, split_dataset, ConFair, evaluate_predictions
+    from repro import FairnessPipeline
 
-    data = load_dataset("meps", random_state=7)
-    split = split_dataset(data, random_state=7)
-    confair = ConFair(learner="lr").fit(split.train, validation=split.validation)
-    model = confair.fit_learner()
-    report = evaluate_predictions(split.deploy.y, model.predict(split.deploy.X), split.deploy.group)
-    print(report.di_star, report.balanced_accuracy)
+    baseline = FairnessPipeline(intervention="none", learner="lr", dataset="meps", seed=7).run()
+    treated = FairnessPipeline(intervention="confair", learner="lr", dataset="meps", seed=7).run()
+    print(baseline.report.di_star, "->", treated.report.di_star,
+          "at alpha_u =", treated.details["alpha_u"])
+
+The pipeline loads the benchmark, splits it 70/15/15, fits the intervention
+(auto-tuning its degree on the validation split), trains the final model
+through the intervention's uniform ``make_model``, and evaluates the deploy
+set into a :class:`~repro.fairness.FairnessReport`.  The underlying
+estimators (``ConFair``, ``DiffFair``, the baselines) remain directly usable
+for fine-grained control.
 """
 
 from repro.baselines import (
@@ -46,6 +56,17 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.fairness import FairnessReport, evaluate_predictions
+from repro.interventions import (
+    DeployedModel,
+    FairnessPipeline,
+    Intervention,
+    InterventionCapabilities,
+    PipelineResult,
+    available_interventions,
+    describe_interventions,
+    make_intervention,
+    register_intervention,
+)
 from repro.learners import (
     GradientBoostingClassifier,
     LogisticRegressionClassifier,
@@ -53,7 +74,7 @@ from repro.learners import (
 )
 from repro.profiling import ConstraintSet, discover_constraints
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CapuchinRepair",
@@ -62,27 +83,36 @@ __all__ = [
     "ConstraintSet",
     "Dataset",
     "DatasetError",
+    "DeployedModel",
     "DiffFair",
     "ExperimentError",
+    "FairnessPipeline",
     "FairnessReport",
     "GradientBoostingClassifier",
+    "Intervention",
+    "InterventionCapabilities",
     "KamiranReweighing",
     "LogisticRegressionClassifier",
     "MultiModel",
     "NoIntervention",
     "NotFittedError",
     "OmniFairReweighing",
+    "PipelineResult",
     "ReproError",
     "ValidationError",
     "__version__",
     "available_datasets",
+    "available_interventions",
     "density_filter",
+    "describe_interventions",
     "discover_constraints",
     "evaluate_predictions",
     "load_dataset",
     "make_classification",
     "make_drifted_groups",
+    "make_intervention",
     "make_learner",
     "profile_partitions",
+    "register_intervention",
     "split_dataset",
 ]

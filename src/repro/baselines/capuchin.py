@@ -22,12 +22,12 @@ import numpy as np
 
 from repro.datasets.table import Dataset
 from repro.exceptions import ValidationError
-from repro.learners.base import BaseClassifier, clone
+from repro.learners.base import BaseClassifier, BaseEstimator, clone
 from repro.learners.registry import make_learner
 from repro.utils.random import check_random_state
 
 
-class CapuchinRepair:
+class CapuchinRepair(BaseEstimator):
     """The CAP data-repair baseline.
 
     Parameters
@@ -98,8 +98,7 @@ class CapuchinRepair:
 
     def fit_learner(self, learner: Optional[BaseClassifier] = None) -> BaseClassifier:
         """Train a learner on the repaired dataset."""
-        if not hasattr(self, "repaired_"):
-            raise ValidationError("CapuchinRepair is not fitted yet; call fit() first")
+        self._check_fitted("repaired_")
         model = learner if learner is not None else (
             make_learner(self.learner, random_state=self.random_state)
             if isinstance(self.learner, str)

@@ -15,11 +15,11 @@ import numpy as np
 
 from repro.datasets.table import Dataset
 from repro.exceptions import ValidationError
-from repro.learners.base import BaseClassifier, clone
+from repro.learners.base import BaseClassifier, BaseEstimator, clone
 from repro.learners.registry import make_learner
 
 
-class KamiranReweighing:
+class KamiranReweighing(BaseEstimator):
     """The KAM reweighing baseline.
 
     Parameters
@@ -71,8 +71,7 @@ class KamiranReweighing:
 
     def fit_learner(self, learner: Optional[BaseClassifier] = None) -> BaseClassifier:
         """Train a learner on the training data using the KAM weights."""
-        if not hasattr(self, "weights_"):
-            raise ValidationError("KamiranReweighing is not fitted yet; call fit() first")
+        self._check_fitted("weights_")
         model = (
             make_learner(self.learner, random_state=self.random_state)
             if isinstance(self.learner, str)

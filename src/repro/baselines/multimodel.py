@@ -14,12 +14,12 @@ import numpy as np
 
 from repro.datasets.table import Dataset
 from repro.exceptions import ValidationError
-from repro.learners.base import BaseClassifier, clone
+from repro.learners.base import BaseClassifier, BaseEstimator, clone
 from repro.learners.registry import make_learner
 from repro.utils.validation import check_array, check_binary_labels
 
 
-class MultiModel:
+class MultiModel(BaseEstimator):
     """Group-membership-routed model splitting.
 
     Parameters
@@ -65,7 +65,7 @@ class MultiModel:
             Declared group membership per row (0 = majority, 1 = minority);
             required — this baseline cannot operate without it.
         """
-        self._check_fitted()
+        self._check_fitted("model_majority_")
         X = check_array(X, name="X")
         group = check_binary_labels(group, name="group")
         if group.shape[0] != X.shape[0]:
@@ -80,7 +80,7 @@ class MultiModel:
 
     def predict_proba(self, X, group) -> np.ndarray:
         """Class probabilities, routed by declared group membership."""
-        self._check_fitted()
+        self._check_fitted("model_majority_")
         X = check_array(X, name="X")
         group = check_binary_labels(group, name="group")
         probabilities = np.empty((X.shape[0], 2), dtype=np.float64)
@@ -90,7 +90,3 @@ class MultiModel:
         if (~majority_rows).any():
             probabilities[~majority_rows] = self.model_minority_.predict_proba(X[~majority_rows])
         return probabilities
-
-    def _check_fitted(self) -> None:
-        if not hasattr(self, "model_majority_"):
-            raise ValidationError("MultiModel is not fitted yet; call fit() first")

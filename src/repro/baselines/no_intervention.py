@@ -7,12 +7,11 @@ from typing import Optional
 import numpy as np
 
 from repro.datasets.table import Dataset
-from repro.exceptions import ValidationError
-from repro.learners.base import BaseClassifier, clone
+from repro.learners.base import BaseClassifier, BaseEstimator, clone
 from repro.learners.registry import make_learner
 
 
-class NoIntervention:
+class NoIntervention(BaseEstimator):
     """Train a single model on unweighted data (the paper's reference point).
 
     Parameters
@@ -40,14 +39,10 @@ class NoIntervention:
 
     def predict(self, X) -> np.ndarray:
         """Predict with the fitted learner."""
-        self._check_fitted()
+        self._check_fitted("model_")
         return self.model_.predict(X)
 
     def predict_proba(self, X) -> np.ndarray:
         """Class probabilities from the fitted learner."""
-        self._check_fitted()
+        self._check_fitted("model_")
         return self.model_.predict_proba(X)
-
-    def _check_fitted(self) -> None:
-        if not hasattr(self, "model_"):
-            raise ValidationError("NoIntervention is not fitted yet; call fit() first")

@@ -24,12 +24,12 @@ import numpy as np
 from repro.datasets.table import Dataset
 from repro.exceptions import ValidationError
 from repro.fairness.metrics import disparate_impact_star, statistical_parity_difference
-from repro.learners.base import BaseClassifier, clone
+from repro.learners.base import BaseClassifier, BaseEstimator, clone
 from repro.learners.metrics import balanced_accuracy_score
 from repro.learners.registry import make_learner
 
 
-class OmniFairReweighing:
+class OmniFairReweighing(BaseEstimator):
     """The OMN reweighing baseline.
 
     Parameters
@@ -133,8 +133,7 @@ class OmniFairReweighing:
 
     def fit_learner(self, learner: Optional[BaseClassifier] = None) -> BaseClassifier:
         """Train a learner on the training data using the OMN weights."""
-        if not hasattr(self, "weights_"):
-            raise ValidationError("OmniFairReweighing is not fitted yet; call fit() first")
+        self._check_fitted("weights_")
         model = learner if learner is not None else self._make_learner()
         model.fit(self._train.X, self._train.y, sample_weight=self.weights_)
         return model

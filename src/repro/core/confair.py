@@ -26,7 +26,7 @@ from repro.core.partitions import PartitionProfile, profile_partitions
 from repro.core.tuning import InterventionTuningResult, tune_intervention_degree
 from repro.datasets.table import Dataset
 from repro.exceptions import ValidationError
-from repro.learners.base import BaseClassifier
+from repro.learners.base import BaseClassifier, BaseEstimator
 from repro.learners.registry import make_learner
 from repro.profiling.discovery import DiscoveryConfig
 
@@ -53,7 +53,7 @@ class ConFairWeights:
     conforming_majority: np.ndarray
 
 
-class ConFair:
+class ConFair(BaseEstimator):
     """The ConFair reweighing intervention.
 
     Parameters
@@ -189,8 +189,7 @@ class ConFair:
         Exposes the weight computation separately from :meth:`fit` so users
         can sweep the intervention degree (Fig. 8/9) without re-profiling.
         """
-        if not hasattr(self, "profile_"):
-            raise ValidationError("ConFair is not fitted yet; call fit() first")
+        self._check_fitted("profile_")
         if alpha_u < 0:
             raise ValidationError("alpha_u must be non-negative")
         alpha_w = alpha_u / 2.0 if alpha_w is None else float(alpha_w)
@@ -211,8 +210,7 @@ class ConFair:
 
     def fit_learner(self, learner: Optional[BaseClassifier] = None) -> BaseClassifier:
         """Train a learner on the fitted training data using the ConFair weights."""
-        if not hasattr(self, "weights_"):
-            raise ValidationError("ConFair is not fitted yet; call fit() first")
+        self._check_fitted("weights_")
         model = learner if learner is not None else self._make_learner()
         model.fit(self._train.X, self._train.y, sample_weight=self.weights_)
         return model

@@ -18,13 +18,13 @@ import numpy as np
 from repro.core.partitions import PartitionProfile, profile_partitions
 from repro.datasets.table import Dataset
 from repro.exceptions import ValidationError
-from repro.learners.base import BaseClassifier, clone
+from repro.learners.base import BaseClassifier, BaseEstimator, clone
 from repro.learners.registry import make_learner
 from repro.profiling.discovery import DiscoveryConfig
 from repro.utils.validation import check_array
 
 
-class DiffFair:
+class DiffFair(BaseEstimator):
     """The DiffFair model-splitting intervention.
 
     Parameters
@@ -126,7 +126,7 @@ class DiffFair:
         ``scores[i, 0]`` is the row's minimum violation against the majority
         partitions, ``scores[i, 1]`` against the minority partitions.
         """
-        self._check_fitted()
+        self._check_fitted("model_majority_")
         X = check_array(X, name="X")
         if X.shape[1] != self.n_features_:
             raise ValidationError(
@@ -174,9 +174,5 @@ class DiffFair:
     @property
     def validation_scores_(self) -> Dict[str, float]:
         """Per-group validation accuracy recorded during :meth:`fit` (may be empty)."""
-        self._check_fitted()
+        self._check_fitted("model_majority_")
         return dict(self._validation_scores)
-
-    def _check_fitted(self) -> None:
-        if not hasattr(self, "model_majority_"):
-            raise ValidationError("DiffFair is not fitted yet; call fit() first")

@@ -1,14 +1,20 @@
-"""Repeat evaluation cells over seeds and aggregate the metrics."""
+"""Repeat evaluation cells over seeds and aggregate the metrics.
+
+The repeats are delegated to
+:meth:`repro.interventions.FairnessPipeline.run_repeated`, which derives the
+per-repeat seeds deterministically from ``base_seed`` and can execute the
+repeated splits in parallel worker threads (``n_jobs``) without changing the
+results.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.experiments.runner import CellResult, evaluate_cell
-from repro.utils.random import spawn_seeds
+from repro.interventions import FairnessPipeline, PipelineResult
 
 
 @dataclass(frozen=True)
@@ -52,25 +58,27 @@ def aggregate_cells(
     n_repeats: int = 3,
     base_seed: int = 7,
     size_factor: Optional[float] = 0.05,
+    n_jobs: Optional[int] = None,
     **method_kwargs,
 ) -> AggregatedCell:
     """Evaluate one cell over ``n_repeats`` random splits and average.
 
     The per-repeat seeds are derived deterministically from ``base_seed`` so
-    repeated invocations are reproducible.
+    repeated invocations are reproducible; ``n_jobs`` > 1 runs the repeats in
+    parallel threads with identical results.
     """
-    seeds = spawn_seeds(base_seed, n_repeats)
-    results: List[CellResult] = [
-        evaluate_cell(
-            dataset,
-            method,
-            learner=learner,
-            seed=seed,
-            size_factor=size_factor,
-            **method_kwargs,
-        )
-        for seed in seeds
-    ]
+    calibration_learner = method_kwargs.pop("calibration_learner", None)
+    pipeline = FairnessPipeline(
+        intervention=method,
+        learner=learner,
+        dataset=dataset,
+        calibration_learner=calibration_learner,
+        size_factor=size_factor,
+        intervention_params=method_kwargs,
+    )
+    results: List[PipelineResult] = pipeline.run_repeated(
+        n_repeats, base_seed=base_seed, n_jobs=n_jobs
+    )
     di = np.array([r.report.di_star for r in results])
     aod = np.array([r.report.aod_star for r in results])
     bal = np.array([r.report.balanced_accuracy for r in results])

@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence
 from repro.experiments.aggregate import aggregate_cells
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import FigureResult
+from repro.interventions import intervention_accepts
 
 
 def run_comparison(
@@ -33,9 +34,10 @@ def run_comparison(
     config:
         Experiment configuration (datasets, learners, repeats, sizes).
     method_kwargs:
-        Optional per-method keyword overrides passed to
-        :func:`repro.experiments.runner.run_method` (e.g. a fixed ``alpha_u``
-        or a ``calibration_learner``).
+        Optional per-method keyword overrides forwarded to the intervention
+        registry (e.g. a fixed ``alpha_u`` or a ``calibration_learner``);
+        options an intervention does not accept raise
+        :class:`~repro.exceptions.ExperimentError`.
     """
     config = config or ExperimentConfig()
     method_kwargs = method_kwargs or {}
@@ -44,12 +46,15 @@ def run_comparison(
         for dataset in config.datasets:
             for method in methods:
                 extra = dict(method_kwargs.get(method, {}))
-                extra.setdefault("tuning_grid", config.tuning_grid)
-                extra.setdefault("lam_grid", config.lam_grid)
-                if method in ("none", "multimodel", "kam", "cap", "diffair", "diffair0"):
-                    # These methods take no tuning grids; drop them.
-                    extra.pop("tuning_grid", None)
-                    extra.pop("lam_grid", None)
+                # Seed the configured search grids only where the registry
+                # says the intervention has such a search; explicit (user)
+                # kwargs still flow through and are validated downstream.
+                for grid_param, grid in (
+                    ("tuning_grid", config.tuning_grid),
+                    ("lam_grid", config.lam_grid),
+                ):
+                    if intervention_accepts(method, grid_param):
+                        extra.setdefault(grid_param, grid)
                 cell = aggregate_cells(
                     dataset,
                     method,

@@ -13,6 +13,7 @@ from typing import Optional
 from repro.experiments.aggregate import aggregate_cells
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import FigureResult
+from repro.interventions import intervention_accepts
 
 
 def run_figure07(config: Optional[ExperimentConfig] = None) -> FigureResult:
@@ -43,6 +44,14 @@ def run_figure07(config: Optional[ExperimentConfig] = None) -> FigureResult:
             row["calibration"] = final_learner
             result.rows.append(row)
             for method in ("confair", "omn"):
+                grids = {
+                    grid_param: grid
+                    for grid_param, grid in (
+                        ("tuning_grid", config.tuning_grid),
+                        ("lam_grid", config.lam_grid),
+                    )
+                    if intervention_accepts(method, grid_param)
+                }
                 cell = aggregate_cells(
                     dataset,
                     method,
@@ -51,8 +60,7 @@ def run_figure07(config: Optional[ExperimentConfig] = None) -> FigureResult:
                     base_seed=config.base_seed,
                     size_factor=config.size_factor,
                     calibration_learner=calibration_learner,
-                    tuning_grid=config.tuning_grid,
-                    lam_grid=config.lam_grid,
+                    **grids,
                 )
                 row = cell.to_row()
                 row["calibration"] = calibration_learner

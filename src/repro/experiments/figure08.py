@@ -7,22 +7,31 @@ sweep) and λ for OMN — and records the *per-group* metric values together
 with balanced accuracy.  Perfect fairness is reached when the minority and
 majority series meet; the paper's headline observation is that ConFair closes
 the gap monotonically while OMN's behaviour is erratic.
+
+The sweeps run through
+:meth:`repro.interventions.FairnessPipeline.sweep_degrees`, which fits each
+intervention once per target (profiling, constraint discovery) and re-derives
+the training weights per degree.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-import numpy as np
-
-from repro.baselines import OmniFairReweighing
-from repro.core import ConFair
 from repro.datasets import load_dataset, split_dataset
 from repro.experiments.reporting import FigureResult
 from repro.fairness.metrics import group_rates
-from repro.learners import balanced_accuracy_score, make_learner
+from repro.interventions import FairnessPipeline
+from repro.learners import balanced_accuracy_score
 
 _TARGET_METRIC = {"di": "selection_rate", "fnr": "fnr", "fpr": "fpr"}
+
+_SWEEP_PARAMS = {
+    # ConFair sweeps alpha_u with alpha_w pinned to 0, as in the paper.
+    "confair": {"alpha_u": 0.0, "alpha_w": 0.0},
+    # OMN's degree is λ; each point re-enters the model-in-the-loop calibration.
+    "omn": {"lam": 0.0},
+}
 
 
 def _group_metric_values(y_true, y_pred, group, target: str) -> Dict[str, float]:
@@ -72,33 +81,22 @@ def run_intervention_sweep(
     )
 
     for target in targets:
-        # --- ConFair: profile once, recompute weights per degree (alpha_w = 0).
-        confair = ConFair(
-            alpha_u=0.0,
-            alpha_w=0.0,
-            fairness_target=target,
-            learner=learner,
-            random_state=random_state,
-        ).fit(split.train)
-        for degree in degrees:
-            weights = confair.compute_weights(alpha_u=float(degree), alpha_w=0.0).weights
-            model = make_learner(learner, random_state=random_state)
-            model.fit(split.train.X, split.train.y, sample_weight=weights)
-            predictions = model.predict(split.deploy.X)
-            row = {"method": "confair", "target": target, "degree": float(degree)}
-            row.update(_group_metric_values(split.deploy.y, predictions, split.deploy.group, target))
-            result.rows.append(row)
-
-        # --- OMN: model-in-the-loop calibration per degree.
-        omn = OmniFairReweighing(lam=0.0, learner=learner, fairness_target=target, random_state=random_state)
-        for degree in degrees:
-            weights, _ = omn.compute_weights(split.train, float(degree))
-            model = make_learner(learner, random_state=random_state)
-            model.fit(split.train.X, split.train.y, sample_weight=weights)
-            predictions = model.predict(split.deploy.X)
-            row = {"method": "omn", "target": target, "degree": float(degree)}
-            row.update(_group_metric_values(split.deploy.y, predictions, split.deploy.group, target))
-            result.rows.append(row)
+        for method, degree_params in _SWEEP_PARAMS.items():
+            pipeline = FairnessPipeline(
+                intervention=method,
+                learner=learner,
+                dataset=split,
+                seed=random_state,
+                intervention_params={**degree_params, "fairness_target": target},
+            )
+            for point in pipeline.sweep_degrees(degrees):
+                row = {"method": method, "target": target, "degree": point.degree}
+                row.update(
+                    _group_metric_values(
+                        split.deploy.y, point.predictions, split.deploy.group, target
+                    )
+                )
+                result.rows.append(row)
 
     result.notes.append(
         "Paper shape: as the ConFair degree grows, the minority/majority series converge "

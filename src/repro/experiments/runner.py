@@ -1,56 +1,43 @@
 """Fit-and-evaluate a single (dataset, method, learner, seed) cell.
 
-Every figure of the paper is a composition of such cells.  The runner hides
-the differences between the method families:
+Every figure of the paper is a composition of such cells.  Since the
+intervention-protocol redesign, the runner is a thin compatibility shim over
+:class:`repro.interventions.FairnessPipeline`: methods are resolved through
+the intervention registry (so there is no per-method dispatch here), their
+keyword arguments are validated against each intervention's constructor
+(unknown or inapplicable options raise
+:class:`~repro.exceptions.ExperimentError` instead of being silently
+dropped), and the uniform ``make_model`` protocol hides the differences
+between the reweighing, model-splitting, and data-repair families.
 
-* reweighing methods (ConFair, KAM, OMN) produce per-tuple weights and train
-  the requested learner on the weighted training data;
-* model-splitting methods (DiffFair, MultiModel) train group-dependent models
-  and route deployment tuples;
-* CAP retrains the learner on its repaired dataset;
-* "none" trains the learner on the raw data.
+New code should prefer the pipeline facade directly::
 
-The cross-model experiment of Fig. 7 is supported through
-``calibration_learner``: the intervention's internal tuning uses one learner
-while the final model is trained with another.
+    from repro import FairnessPipeline
+
+    result = FairnessPipeline(intervention="confair", learner="lr", dataset="meps").run()
+
+``run_method`` and ``evaluate_cell`` are kept for compatibility with the
+pre-redesign API and with the published experiment scripts.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines import (
-    CapuchinRepair,
-    KamiranReweighing,
-    MultiModel,
-    NoIntervention,
-    OmniFairReweighing,
-)
-from repro.core import ConFair, DiffFair
-from repro.datasets import DatasetSplit, load_dataset, split_dataset
-from repro.exceptions import ExperimentError
-from repro.fairness import FairnessReport, evaluate_predictions
-from repro.learners import make_learner
+from repro.datasets import DatasetSplit
+from repro.fairness import FairnessReport
+from repro.interventions import FairnessPipeline, available_interventions
 
-METHOD_NAMES: Tuple[str, ...] = (
-    "none",
-    "multimodel",
-    "diffair",
-    "diffair0",
-    "confair",
-    "confair0",
-    "kam",
-    "omn",
-    "cap",
-)
-"""Method identifiers accepted by :func:`run_method`.
+METHOD_NAMES: Tuple[str, ...] = tuple(available_interventions())
+"""Method identifiers accepted by :func:`run_method`, in the paper's order.
 
 ``diffair0`` and ``confair0`` are the Fig. 13 ablation variants that skip the
-density-based CC optimization (Algorithm 3).
+density-based CC optimization (Algorithm 3).  The tuple mirrors the
+intervention registry; see
+:func:`repro.interventions.available_interventions`.
 """
 
 
@@ -67,25 +54,18 @@ class CellResult:
     details: Dict[str, object]
 
 
-def _predict_with_weights(split: DatasetSplit, weights: np.ndarray, learner: str, seed: int) -> np.ndarray:
-    """Train ``learner`` on the weighted training data and predict the deploy set."""
-    model = make_learner(learner, random_state=seed)
-    model.fit(split.train.X, split.train.y, sample_weight=weights)
-    return model.predict(split.deploy.X)
-
-
 def run_method(
     method: str,
     split: DatasetSplit,
     *,
     learner: str = "lr",
     seed: int = 0,
-    tuning_grid: Tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0, 3.0),
-    lam_grid: Tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 1.5),
+    tuning_grid: Optional[Sequence[float]] = None,
+    lam_grid: Optional[Sequence[float]] = None,
     alpha_u: Optional[float] = None,
     lam: Optional[float] = None,
     calibration_learner: Optional[str] = None,
-    fairness_target: str = "di",
+    fairness_target: Optional[str] = None,
 ) -> Tuple[np.ndarray, Dict[str, object]]:
     """Fit ``method`` on the split and return deploy-set predictions.
 
@@ -100,15 +80,18 @@ def run_method(
     seed:
         Random seed for the learners.
     tuning_grid, lam_grid:
-        Grids for the automatic intervention-degree searches.
+        Grids for the automatic intervention-degree searches; ``None`` keeps
+        the intervention's default grid.  Passing a grid to a method that has
+        no such search raises :class:`~repro.exceptions.ExperimentError`.
     alpha_u, lam:
         Explicit intervention degrees (skip the automatic search).
     calibration_learner:
         Learner used to calibrate reweighing interventions (defaults to
         ``learner``); setting it differently reproduces the Fig. 7 transfer
-        experiment.
+        experiment.  Rejected for interventions without calibration.
     fairness_target:
-        ``"di"``, ``"fnr"``, or ``"fpr"`` for the reweighing interventions.
+        ``"di"``, ``"fnr"``, or ``"fpr"`` for the reweighing interventions
+        (``None`` keeps the intervention default, ``"di"``).
 
     Returns
     -------
@@ -116,63 +99,27 @@ def run_method(
         Deploy-set predictions and method-specific details (chosen degrees,
         routing fractions, ...).
     """
-    key = method.strip().lower()
-    calibration = calibration_learner or learner
-    details: Dict[str, object] = {}
-
-    if key == "none":
-        model = NoIntervention(learner=learner, random_state=seed).fit(split.train)
-        return model.predict(split.deploy.X), details
-
-    if key == "multimodel":
-        model = MultiModel(learner=learner, random_state=seed).fit(split.train)
-        return model.predict(split.deploy.X, split.deploy.group), details
-
-    if key in ("diffair", "diffair0"):
-        diffair = DiffFair(
-            learner=learner,
-            use_density_filter=(key == "diffair"),
-            random_state=seed,
-        ).fit(split.train, validation=split.validation)
-        predictions = diffair.predict(split.deploy.X)
-        routes = diffair.route(split.deploy.X)
-        details["minority_model_fraction"] = float(np.mean(routes == 1))
-        return predictions, details
-
-    if key in ("confair", "confair0"):
-        confair = ConFair(
-            alpha_u=alpha_u,
-            fairness_target=fairness_target,
-            use_density_filter=(key == "confair"),
-            learner=calibration,
-            tuning_grid=tuning_grid,
-            random_state=seed,
-        ).fit(split.train, validation=split.validation)
-        details["alpha_u"] = confair.alpha_u_
-        details["alpha_w"] = confair.alpha_w_
-        return _predict_with_weights(split, confair.weights_, learner, seed), details
-
-    if key == "kam":
-        kam = KamiranReweighing(learner=learner, random_state=seed).fit(split.train)
-        return _predict_with_weights(split, kam.weights_, learner, seed), details
-
-    if key == "omn":
-        omn = OmniFairReweighing(
-            lam=lam,
-            learner=calibration,
-            lam_grid=lam_grid,
-            fairness_target=fairness_target,
-            random_state=seed,
-        ).fit(split.train, validation=split.validation)
-        details["lambda"] = omn.lam_
-        return _predict_with_weights(split, omn.weights_, learner, seed), details
-
-    if key == "cap":
-        cap = CapuchinRepair(learner=learner, random_state=seed).fit(split.train)
-        model = cap.fit_learner(make_learner(learner, random_state=seed))
-        return model.predict(split.deploy.X), details
-
-    raise ExperimentError(f"Unknown method {method!r}; available methods: {METHOD_NAMES}")
+    overrides = {
+        name: value
+        for name, value in (
+            ("tuning_grid", tuple(tuning_grid) if tuning_grid is not None else None),
+            ("lam_grid", tuple(lam_grid) if lam_grid is not None else None),
+            ("alpha_u", alpha_u),
+            ("lam", lam),
+            ("fairness_target", fairness_target),
+        )
+        if value is not None
+    }
+    pipeline = FairnessPipeline(
+        intervention=method,
+        learner=learner,
+        dataset=split,
+        calibration_learner=calibration_learner,
+        seed=seed,
+        intervention_params=overrides,
+    )
+    result = pipeline.run()
+    return result.predictions, result.details
 
 
 def evaluate_cell(
@@ -185,18 +132,23 @@ def evaluate_cell(
     **method_kwargs,
 ) -> CellResult:
     """Load a dataset, split it, run one method, and evaluate the deploy set."""
-    data = load_dataset(dataset, size_factor=size_factor, random_state=seed)
-    split = split_dataset(data, random_state=seed)
-    start = time.perf_counter()
-    predictions, details = run_method(method, split, learner=learner, seed=seed, **method_kwargs)
-    elapsed = time.perf_counter() - start
-    report = evaluate_predictions(split.deploy.y, predictions, split.deploy.group)
-    return CellResult(
-        dataset=dataset,
-        method=method,
+    calibration_learner = method_kwargs.pop("calibration_learner", None)
+    pipeline = FairnessPipeline(
+        intervention=method,
         learner=learner,
+        dataset=dataset,
+        calibration_learner=calibration_learner,
+        size_factor=size_factor,
         seed=seed,
-        report=report,
-        runtime_seconds=elapsed,
-        details=details,
+        intervention_params=method_kwargs,
+    )
+    result = pipeline.run()
+    return CellResult(
+        dataset=result.dataset,
+        method=result.method,
+        learner=result.learner,
+        seed=result.seed,
+        report=result.report,
+        runtime_seconds=result.runtime_seconds,
+        details=result.details,
     )

@@ -1,0 +1,78 @@
+"""Unified intervention protocol, registry, and the ``FairnessPipeline`` facade.
+
+This package defines the public estimator surface for every fairness
+intervention in the library:
+
+* :class:`Intervention` — the abstract protocol (``fit`` /
+  ``make_model`` / ``details`` / ``get_params`` / ``set_params`` /
+  ``clone``) with a declared :class:`InterventionCapabilities` descriptor;
+* the registry — :func:`register_intervention`, :func:`make_intervention`,
+  :func:`available_interventions` — through which methods are resolved by
+  the names the paper's figures use (``confair``, ``diffair``, ``kam``, …);
+* :class:`FairnessPipeline` — the dataset → intervention → learner →
+  :class:`~repro.fairness.FairnessReport` facade used by the experiment
+  harness and the examples.
+
+New interventions plug in without touching the experiment runner::
+
+    from repro.interventions import Intervention, register_intervention
+
+    @register_intervention("my-method", summary="...")
+    class MyIntervention(Intervention):
+        ...
+"""
+
+from repro.interventions.base import (
+    DeployedModel,
+    Intervention,
+    InterventionCapabilities,
+)
+from repro.interventions.registry import (
+    InterventionSpec,
+    available_interventions,
+    describe_interventions,
+    get_intervention_spec,
+    intervention_accepts,
+    make_intervention,
+    register_intervention,
+)
+
+# Importing the wrappers registers every built-in method; the import must
+# come after the registry so the decorators can run.
+from repro.interventions.wrappers import (
+    CapuchinIntervention,
+    ConFairIntervention,
+    DiffFairIntervention,
+    IdentityIntervention,
+    KamiranIntervention,
+    MultiModelIntervention,
+    OmniFairIntervention,
+)
+from repro.interventions.pipeline import (
+    DegreeSweepPoint,
+    FairnessPipeline,
+    PipelineResult,
+)
+
+__all__ = [
+    "CapuchinIntervention",
+    "ConFairIntervention",
+    "DegreeSweepPoint",
+    "DeployedModel",
+    "DiffFairIntervention",
+    "FairnessPipeline",
+    "IdentityIntervention",
+    "Intervention",
+    "InterventionCapabilities",
+    "InterventionSpec",
+    "KamiranIntervention",
+    "MultiModelIntervention",
+    "OmniFairIntervention",
+    "PipelineResult",
+    "available_interventions",
+    "describe_interventions",
+    "get_intervention_spec",
+    "intervention_accepts",
+    "make_intervention",
+    "register_intervention",
+]

@@ -1,0 +1,207 @@
+"""The ``Intervention`` protocol: one estimator surface for every method family.
+
+The paper's methods come in three families — reweighing (ConFair, KAM, OMN),
+model splitting (DiffFair, MultiModel), and data repair (CAP) — and each has a
+naturally different internal surface (``weights_`` vs. ``predict(X)`` vs.
+``predict(X, group)`` vs. ``fit_learner()``).  This module defines the single
+abstract protocol every intervention is adapted to:
+
+* construction with keyword hyper-parameters only, stored verbatim on
+  ``self`` (the scikit-learn convention), which makes ``get_params`` /
+  ``set_params`` / ``clone`` / ``__repr__`` work without per-class code;
+* a declared :class:`InterventionCapabilities` descriptor saying what the
+  method *does* (produces weights, routes tuples, repairs data) and what the
+  serving path therefore needs (the group attribute, a validation split);
+* a uniform ``fit(train, validation=None)``;
+* a uniform ``make_model(split, learner=..., seed=...)`` that returns a
+  ready-to-predict :class:`DeployedModel` regardless of family.
+
+Downstream code — the experiment runner, the :class:`FairnessPipeline`
+facade, user serving code — only ever talks to this protocol, so new
+interventions plug in by subclassing :class:`Intervention` and registering
+themselves (see :mod:`repro.interventions.registry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Dict, Optional
+
+import numpy as np
+
+from repro.datasets.splits import DatasetSplit
+from repro.datasets.table import Dataset
+from repro.exceptions import ExperimentError, ValidationError
+from repro.learners.base import BaseClassifier, BaseEstimator, clone as clone_estimator
+from repro.learners.registry import make_learner
+
+
+@dataclass(frozen=True)
+class InterventionCapabilities:
+    """What an intervention produces and what its serving path requires.
+
+    Attributes
+    ----------
+    produces_weights:
+        The intervention emits per-tuple training weights (``weights_``) and
+        the final model is any learner trained on the weighted data.
+    routes:
+        The intervention serves tuples with one of several internal models
+        (model splitting).
+    repairs_data:
+        The intervention rewrites the training data (invasive repair) and the
+        final model is trained on the repaired dataset.
+    requires_group_at_predict:
+        Serving needs the tuple's declared group membership (MultiModel);
+        interventions without this flag never read the sensitive attribute at
+        deployment time.
+    supports_calibration_transfer:
+        The intervention calibrates against a learner that may differ from
+        the final model's learner (the Fig. 7 cross-model experiment).
+    degree_param:
+        Name of the constructor parameter holding the intervention degree
+        (``"alpha_u"`` for ConFair, ``"lam"`` for OMN) when the method
+        supports degree sweeps without refitting (Figs. 8/9); ``None``
+        otherwise.
+    requires_validation_for_tuning:
+        ``fit`` needs a validation split when the intervention degree is left
+        unspecified (automatic search).
+    """
+
+    produces_weights: bool = False
+    routes: bool = False
+    repairs_data: bool = False
+    requires_group_at_predict: bool = False
+    supports_calibration_transfer: bool = False
+    degree_param: Optional[str] = None
+    requires_validation_for_tuning: bool = False
+
+    @property
+    def supports_degree_sweep(self) -> bool:
+        """Whether :meth:`Intervention.weights_for_degree` is available."""
+        return self.degree_param is not None
+
+
+class DeployedModel:
+    """A ready-to-predict artifact produced by :meth:`Intervention.make_model`.
+
+    The artifact normalizes the serving surface: ``predict(X, group=None)``
+    works for every family.  ``group`` is only consulted when the producing
+    intervention declared ``requires_group_at_predict`` (and is then
+    mandatory); all other artifacts ignore it, so callers can always pass the
+    group column when they have one.
+    """
+
+    def __init__(
+        self,
+        predict_fn: Callable[..., np.ndarray],
+        *,
+        predict_proba_fn: Optional[Callable[..., np.ndarray]] = None,
+        requires_group: bool = False,
+        details: Optional[Dict[str, object]] = None,
+        name: str = "model",
+    ) -> None:
+        self._predict_fn = predict_fn
+        self._predict_proba_fn = predict_proba_fn
+        self.requires_group = bool(requires_group)
+        self.details: Dict[str, object] = dict(details or {})
+        self.name = name
+
+    def _resolve_group(self, group) -> tuple:
+        if self.requires_group:
+            if group is None:
+                raise ValidationError(
+                    f"{self.name} routes by declared group membership; "
+                    "predict() needs the group array"
+                )
+            return (group,)
+        return ()
+
+    def predict(self, X, group=None) -> np.ndarray:
+        """Predict hard labels; ``group`` is used only by group-routed models."""
+        return self._predict_fn(X, *self._resolve_group(group))
+
+    def predict_proba(self, X, group=None) -> np.ndarray:
+        """Class probabilities, when the underlying model exposes them."""
+        if self._predict_proba_fn is None:
+            raise ExperimentError(f"{self.name} does not expose predict_proba")
+        return self._predict_proba_fn(X, *self._resolve_group(group))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeployedModel({self.name!r}, requires_group={self.requires_group})"
+
+
+class Intervention(BaseEstimator):
+    """Abstract base for every fairness intervention.
+
+    Subclasses declare a class-level :class:`InterventionCapabilities` and
+    implement :meth:`fit` and :meth:`make_model`.  Everything else —
+    ``get_params``/``set_params``/``__repr__`` (inherited from
+    :class:`~repro.learners.base.BaseEstimator`), :meth:`clone`,
+    :meth:`details` — comes for free.
+    """
+
+    capabilities: ClassVar[InterventionCapabilities] = InterventionCapabilities()
+
+    # ------------------------------------------------------------- protocol
+    def fit(self, train: Dataset, validation: Optional[Dataset] = None) -> "Intervention":
+        """Fit the intervention on the training split.
+
+        ``validation`` is consulted only when the capabilities declare
+        ``requires_validation_for_tuning`` and the degree was left to the
+        automatic search; it is always accepted for API symmetry.
+        """
+        raise NotImplementedError
+
+    def make_model(
+        self,
+        split: DatasetSplit,
+        *,
+        learner: Optional[object] = None,
+        seed: Optional[int] = None,
+    ) -> DeployedModel:
+        """Return a ready-to-predict artifact for the fitted intervention.
+
+        Parameters
+        ----------
+        split:
+            The train/validation/deploy split the intervention was fitted on;
+            weight- and repair-based families train the final ``learner``
+            here, routing families package their already-fitted group models.
+        learner:
+            Learner name or prototype for the *final* model; defaults to the
+            intervention's own ``learner`` hyper-parameter.
+        seed:
+            Seed for the final model; defaults to the intervention's
+            ``random_state``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ optionals
+    def details(self) -> Dict[str, object]:
+        """Method-specific fit outcomes (chosen degrees, λ, ...)."""
+        return {}
+
+    def weights_for_degree(self, degree: float) -> np.ndarray:
+        """Training weights at an explicit intervention degree (Figs. 8/9).
+
+        Only available when ``capabilities.supports_degree_sweep``; the
+        default implementation explains what is missing.
+        """
+        raise ExperimentError(
+            f"{type(self).__name__} does not support degree sweeps "
+            "(capabilities.degree_param is None)"
+        )
+
+    def clone(self) -> "Intervention":
+        """Return an unfitted copy with identical hyper-parameters."""
+        return clone_estimator(self)
+
+    # ------------------------------------------------------------- helpers
+    def _final_learner(self, learner, seed) -> BaseClassifier:
+        """Build the final (deploy) model from a name, prototype, or default."""
+        learner = self.get_params().get("learner", "lr") if learner is None else learner
+        seed = self.get_params().get("random_state", 0) if seed is None else seed
+        if isinstance(learner, str):
+            return make_learner(learner, random_state=seed)
+        return clone_estimator(learner)

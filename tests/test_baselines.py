@@ -10,7 +10,7 @@ from repro.baselines import (
     NoIntervention,
     OmniFairReweighing,
 )
-from repro.exceptions import ValidationError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.fairness import evaluate_predictions
 
 
@@ -27,7 +27,7 @@ class TestNoIntervention:
         assert np.allclose(proba.sum(axis=1), 1.0)
 
     def test_predict_before_fit(self):
-        with pytest.raises(ValidationError):
+        with pytest.raises(NotFittedError):
             NoIntervention().predict(np.zeros((2, 3)))
 
 
@@ -102,8 +102,26 @@ class TestKamiran:
         assert report.di_star >= base_report.di_star - 0.05
 
     def test_fit_learner_before_fit(self):
-        with pytest.raises(ValidationError):
+        with pytest.raises(NotFittedError):
             KamiranReweighing().fit_learner()
+
+    def test_not_fitted_behavior_is_uniform(self):
+        """Every baseline raises NotFittedError before fit (not ValidationError)."""
+        cases = (
+            lambda: NoIntervention().predict(np.zeros((2, 3))),
+            lambda: MultiModel().predict(np.zeros((2, 3)), np.zeros(2, dtype=int)),
+            lambda: KamiranReweighing().fit_learner(),
+            lambda: OmniFairReweighing(lam=0.5).fit_learner(),
+            lambda: CapuchinRepair().fit_learner(),
+        )
+        for invoke in cases:
+            with pytest.raises(NotFittedError):
+                invoke()
+
+    def test_reprs_show_constructor_params(self):
+        assert "learner='lr'" in repr(NoIntervention(learner="lr"))
+        assert "repair_strength=0.5" in repr(CapuchinRepair(repair_strength=0.5))
+        assert "lam=1.0" in repr(OmniFairReweighing(lam=1.0))
 
 
 class TestOmniFair:

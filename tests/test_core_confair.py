@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import ConFair
 from repro.core.tuning import tune_intervention_degree
-from repro.exceptions import ValidationError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.fairness import evaluate_predictions
 from repro.learners import LogisticRegressionClassifier, make_learner
 
@@ -109,8 +109,18 @@ class TestFairnessEffect:
         assert hasattr(model, "coef_")
 
     def test_compute_weights_before_fit(self):
-        with pytest.raises(ValidationError):
+        with pytest.raises(NotFittedError):
             ConFair(alpha_u=1.0).compute_weights(alpha_u=1.0)
+
+    def test_fit_learner_before_fit(self):
+        with pytest.raises(NotFittedError):
+            ConFair(alpha_u=1.0).fit_learner()
+
+    def test_repr_shows_constructor_params(self):
+        text = repr(ConFair(alpha_u=1.5, fairness_target="fnr"))
+        assert text.startswith("ConFair(")
+        assert "alpha_u=1.5" in text
+        assert "fairness_target='fnr'" in text
 
 
 class TestTuningHelper:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import DiffFair
-from repro.exceptions import ValidationError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.fairness import evaluate_predictions
 from repro.learners import make_learner
 
@@ -28,8 +28,13 @@ class TestFit:
             DiffFair(learner="lr").fit(majority_only)
 
     def test_predict_before_fit(self):
-        with pytest.raises(ValidationError):
+        with pytest.raises(NotFittedError):
             DiffFair().predict(np.zeros((2, 3)))
+
+    def test_repr_shows_constructor_params(self):
+        text = repr(DiffFair(use_density_filter=False))
+        assert text.startswith("DiffFair(")
+        assert "use_density_filter=False" in text
 
 
 class TestRouting:

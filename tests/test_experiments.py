@@ -89,6 +89,17 @@ class TestEvaluateAndAggregate:
         b = aggregate_cells("lsac", "none", learner="lr", n_repeats=2, base_seed=3, size_factor=0.03)
         assert a.di_star_mean == pytest.approx(b.di_star_mean)
 
+    def test_parallel_aggregation_matches_serial(self):
+        serial = aggregate_cells(
+            "lsac", "kam", learner="lr", n_repeats=3, base_seed=3, size_factor=0.03
+        )
+        parallel = aggregate_cells(
+            "lsac", "kam", learner="lr", n_repeats=3, base_seed=3, size_factor=0.03, n_jobs=3
+        )
+        assert serial.di_star_mean == pytest.approx(parallel.di_star_mean)
+        assert serial.aod_star_mean == pytest.approx(parallel.aod_star_mean)
+        assert serial.balanced_accuracy_mean == pytest.approx(parallel.balanced_accuracy_mean)
+
 
 class TestConfigAndReporting:
     def test_config_validation(self):

@@ -30,6 +30,23 @@ class TestPublicSurface:
 
     def test_quickstart_from_docstring_runs(self):
         """The module docstring's quickstart must actually work."""
+        baseline = repro.FairnessPipeline(
+            intervention="none", learner="lr", dataset="lsac", size_factor=0.03, seed=7
+        ).run()
+        treated = repro.FairnessPipeline(
+            intervention="confair",
+            learner="lr",
+            dataset="lsac",
+            size_factor=0.03,
+            seed=7,
+            intervention_params={"tuning_grid": (0.0, 1.0)},
+        ).run()
+        assert 0.0 <= baseline.report.di_star <= 1.0
+        assert 0.0 <= treated.report.di_star <= 1.0
+        assert "alpha_u" in treated.details
+
+    def test_legacy_estimator_surface_still_works(self):
+        """The pre-redesign estimator-level workflow remains supported."""
         data = repro.load_dataset("lsac", size_factor=0.03, random_state=7)
         split = repro.split_dataset(data, random_state=7)
         confair = repro.ConFair(learner="lr", tuning_grid=(0.0, 1.0)).fit(
@@ -40,6 +57,11 @@ class TestPublicSurface:
             split.deploy.y, model.predict(split.deploy.X), split.deploy.group
         )
         assert 0.0 <= report.di_star <= 1.0
+
+    def test_intervention_surface_exported(self):
+        assert "confair" in repro.available_interventions()
+        assert repro.make_intervention("kam") is not None
+        assert issubclass(repro.FairnessPipeline, object)
 
     def test_available_datasets_contains_paper_benchmarks(self):
         names = repro.available_datasets()
