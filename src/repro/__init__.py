@@ -29,6 +29,31 @@ through the intervention's uniform ``make_model``, and evaluates the deploy
 set into a :class:`~repro.fairness.FairnessReport`.  The underlying
 estimators (``ConFair``, ``DiffFair``, the baselines) remain directly usable
 for fine-grained control.
+
+Serving quickstart::
+
+    from repro import FairnessPipeline, save_artifact
+    from repro.serving import FairnessMonitor, PredictionService
+
+    result = FairnessPipeline("diffair", dataset="meps", seed=7).run()
+    save_artifact(result, "artifacts/meps-diffair")
+
+    monitor = FairnessMonitor(window_size=5000, profile=result.intervention.profile_)
+    service = PredictionService.from_artifact(
+        "artifacts/meps-diffair", batch_size=512, max_workers=4, monitor=monitor
+    )
+    predictions = service.predict(rows)          # group-blind, micro-batched
+    print(monitor.windowed_summary()["di_star"], monitor.drift_status().alarm)
+
+An artifact is a directory holding ``manifest.json`` (schema-versioned
+structure: every estimator's constructor parameters plus its declared
+``state_dict``) and ``payload.npz`` (the numeric state, stored losslessly).
+Round trips are guaranteed bit-identical — ``load_artifact(save_artifact(m))``
+predicts exactly what ``m`` predicts for every registered intervention ×
+learner pair — and any mismatch (schema version, unknown learner class,
+corrupted payload) raises :class:`~repro.exceptions.ArtifactError`.  The
+``repro-serve`` console script (``python -m repro.serve``) wires the path end
+to end: ``fit`` → ``save`` → ``serve``/``score``.
 """
 
 from repro.baselines import (
@@ -48,6 +73,7 @@ from repro.datasets import (
     split_dataset,
 )
 from repro.exceptions import (
+    ArtifactError,
     ConstraintError,
     DatasetError,
     ExperimentError,
@@ -55,7 +81,7 @@ from repro.exceptions import (
     ReproError,
     ValidationError,
 )
-from repro.fairness import FairnessReport, evaluate_predictions
+from repro.fairness import FairnessAccumulator, FairnessReport, evaluate_predictions
 from repro.interventions import (
     DeployedModel,
     FairnessPipeline,
@@ -74,9 +100,19 @@ from repro.learners import (
 )
 from repro.profiling import ConstraintSet, discover_constraints
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+# The serving subsystem consumes everything above (interventions, learners,
+# datasets), so its import must come last.
+from repro.serving import (
+    FairnessMonitor,
+    PredictionService,
+    load_artifact,
+    save_artifact,
+)
 
 __all__ = [
+    "ArtifactError",
     "CapuchinRepair",
     "ConFair",
     "ConstraintError",
@@ -86,6 +122,8 @@ __all__ = [
     "DeployedModel",
     "DiffFair",
     "ExperimentError",
+    "FairnessAccumulator",
+    "FairnessMonitor",
     "FairnessPipeline",
     "FairnessReport",
     "GradientBoostingClassifier",
@@ -98,6 +136,7 @@ __all__ = [
     "NotFittedError",
     "OmniFairReweighing",
     "PipelineResult",
+    "PredictionService",
     "ReproError",
     "ValidationError",
     "__version__",
@@ -107,6 +146,7 @@ __all__ = [
     "describe_interventions",
     "discover_constraints",
     "evaluate_predictions",
+    "load_artifact",
     "load_dataset",
     "make_classification",
     "make_drifted_groups",
@@ -114,5 +154,6 @@ __all__ = [
     "make_learner",
     "profile_partitions",
     "register_intervention",
+    "save_artifact",
     "split_dataset",
 ]

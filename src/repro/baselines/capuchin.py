@@ -50,6 +50,8 @@ class CapuchinRepair(BaseEstimator):
         Target row counts per (group, label) cell after the repair.
     """
 
+    _state_attributes = ("repaired_", "cell_targets_")
+
     def __init__(
         self,
         learner="xgb",

@@ -37,6 +37,8 @@ class KamiranReweighing(BaseEstimator):
         The weight assigned to each (group, label) cell.
     """
 
+    _state_attributes = ("weights_", "cell_weights_", "_train")
+
     def __init__(self, learner="lr", random_state: Optional[int] = 0) -> None:
         self.learner = learner
         self.random_state = random_state

@@ -30,6 +30,8 @@ class MultiModel(BaseEstimator):
         Seed passed to learners created from a registry name.
     """
 
+    _state_attributes = ("model_majority_", "model_minority_", "n_features_")
+
     def __init__(self, learner="lr", random_state: Optional[int] = 0) -> None:
         self.learner = learner
         self.random_state = random_state

@@ -22,6 +22,8 @@ class NoIntervention(BaseEstimator):
         Seed passed to learners created from a registry name.
     """
 
+    _state_attributes = ("model_",)
+
     def __init__(self, learner="lr", random_state: Optional[int] = 0) -> None:
         self.learner = learner
         self.random_state = random_state

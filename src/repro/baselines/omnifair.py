@@ -61,6 +61,8 @@ class OmniFairReweighing(BaseEstimator):
         The per-cell weight deltas after calibration.
     """
 
+    _state_attributes = ("weights_", "lam_", "cell_deltas_", "_train")
+
     def __init__(
         self,
         lam: Optional[float] = None,
@@ -99,8 +101,17 @@ class OmniFairReweighing(BaseEstimator):
         self.weights_, self.cell_deltas_ = self.compute_weights(train, self.lam_)
         return self
 
-    def compute_weights(self, train: Dataset, lam: float) -> Tuple[np.ndarray, Dict[Tuple[int, int], float]]:
-        """Model-in-the-loop calibration of per-cell weights for a given λ."""
+    def compute_weights(
+        self, train: Optional[Dataset], lam: float
+    ) -> Tuple[np.ndarray, Dict[Tuple[int, int], float]]:
+        """Model-in-the-loop calibration of per-cell weights for a given λ.
+
+        ``train=None`` reuses the training data the estimator was fitted on
+        (the λ-sweep path), so callers never need to reach into internals.
+        """
+        if train is None:
+            self._check_fitted("_train")
+            train = self._train
         if lam < 0:
             raise ValidationError("lam must be non-negative")
         weights = np.ones(train.n_samples, dtype=np.float64)

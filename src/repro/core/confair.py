@@ -100,6 +100,20 @@ class ConFair(BaseEstimator):
         Details of the automatic search (``None`` when alphas were supplied).
     """
 
+    # Everything predictions and degree sweeps depend on; the tuning search
+    # trace (``tuning_result_``) is diagnostics-only and is not persisted.
+    _state_attributes = (
+        "profile_",
+        "_base_weights",
+        "_conforming",
+        "_train",
+        "alpha_u_",
+        "alpha_w_",
+        "weights_",
+        "conforming_minority_",
+        "conforming_majority_",
+    )
+
     def __init__(
         self,
         alpha_u: Optional[float] = None,

@@ -49,6 +49,15 @@ class DiffFair(BaseEstimator):
         Constraint sets per (group, label) partition of the training data.
     """
 
+    _state_attributes = (
+        "model_majority_",
+        "model_minority_",
+        "profile_",
+        "n_features_",
+        "n_numeric_features_",
+        "_validation_scores",
+    )
+
     def __init__(
         self,
         learner="lr",

@@ -16,9 +16,12 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.datasets.table import Dataset
-from repro.exceptions import DatasetError
+from repro.exceptions import DatasetError, NotFittedError
+from repro.learners.base import BaseEstimator
 from repro.learners.encoder import OneHotEncoder
 from repro.learners.scaler import MinMaxScaler, StandardScaler
+
+_IS_NONE = np.frompyfunc(lambda value: value is None, 1, 1)
 
 
 @dataclass
@@ -89,16 +92,14 @@ class RawTable:
             self.n_rows, dtype=bool
         )
         if self.categorical.shape[1]:
-            categorical_null = np.array(
-                [any(value is None for value in row) for row in self.categorical], dtype=bool
-            )
+            categorical_null = _IS_NONE(self.categorical).astype(bool).any(axis=1)
         else:
             categorical_null = np.zeros(self.n_rows, dtype=bool)
         return numeric_null | categorical_null
 
 
 @dataclass
-class PreprocessingPipeline:
+class PreprocessingPipeline(BaseEstimator):
     """Apply the paper's preprocessing steps to a :class:`RawTable`.
 
     Parameters
@@ -110,10 +111,40 @@ class PreprocessingPipeline:
         Remove rows with any missing value (the paper's policy).  When
         ``False``, numeric NaNs are imputed with the column median and
         categorical ``None`` becomes the explicit category ``"missing"``.
+
+    After :meth:`fit_transform` the pipeline keeps its fitted state — the
+    scaler statistics, the one-hot vocabulary, and the numeric imputation
+    fills — so *new* records can be pushed through the exact fit-time
+    transform with :meth:`transform` / :meth:`transform_features` (the
+    serving path).  As a :class:`~repro.learners.base.BaseEstimator` with
+    declared ``_state_attributes`` it persists through
+    :mod:`repro.serving.artifacts` like any estimator.
+
+    Attributes (after :meth:`fit_transform`)
+    ----------------------------------------
+    scaler_ :
+        The fitted numeric scaler (``None`` when ``scaler="none"`` or the
+        table had no numeric columns).
+    encoder_ :
+        The fitted :class:`OneHotEncoder` (``None`` without categoricals).
+    numeric_fill_ :
+        Per-column medians of the fit-time numeric block, used to impute
+        missing numeric values in serving records.
+    feature_names_ :
+        Output feature names, matching the produced dataset columns.
     """
 
     scaler: str = "minmax"
     drop_nulls: bool = True
+
+    _state_attributes = (
+        "scaler_",
+        "encoder_",
+        "numeric_fill_",
+        "n_numeric_",
+        "n_categorical_",
+        "feature_names_",
+    )
 
     def __post_init__(self) -> None:
         if self.scaler not in ("minmax", "standard", "none"):
@@ -135,39 +166,121 @@ class PreprocessingPipeline:
             numeric = self._impute_numeric(numeric)
             categorical = self._impute_categorical(categorical)
 
+        self.n_numeric_ = int(numeric.shape[1])
+        self.n_categorical_ = int(categorical.shape[1])
+        self.numeric_fill_ = (
+            np.median(numeric, axis=0) if numeric.shape[1] else np.empty(0, dtype=np.float64)
+        )
+
         blocks = []
         names: list = []
+        self.scaler_ = None
+        self.encoder_ = None
         if numeric.shape[1]:
-            scaled = self._scale(numeric)
-            blocks.append(scaled)
+            blocks.append(self._fit_scale(numeric))
             names.extend(table.numeric_names)
         if categorical.shape[1]:
-            encoder = OneHotEncoder().fit(categorical)
-            encoded = encoder.transform(categorical)
+            self.encoder_ = OneHotEncoder().fit(categorical)
+            encoded = self.encoder_.transform(categorical)
             blocks.append(encoded)
-            for column_name, categories in zip(table.categorical_names, encoder.categories_):
+            for column_name, categories in zip(table.categorical_names, self.encoder_.categories_):
                 names.extend(f"{column_name}={value}" for value in categories)
         if not blocks:
             raise DatasetError("RawTable has no attribute columns")
+        self.feature_names_ = tuple(names)
 
         X = np.hstack(blocks)
         return Dataset(
             X=X,
             y=y,
             group=group,
-            feature_names=tuple(names),
+            feature_names=self.feature_names_,
             n_numeric_features=numeric.shape[1],
             name=table.name,
             metadata=dict(table.metadata),
         )
 
+    # ------------------------------------------------------------- serving
+    def transform(self, table: RawTable) -> Dataset:
+        """Preprocess *new* records with the fit-time state (no refitting).
+
+        Applies the same null policy as :meth:`fit_transform` (``drop_nulls``
+        removes rows, so the result may have fewer rows than ``table``); use
+        :meth:`transform_features` when per-record alignment matters.
+        """
+        self._check_fitted()
+        numeric, categorical = table.numeric, table.categorical
+        y, group = table.y, table.group
+        if self.drop_nulls:
+            keep = ~table.null_mask()
+            if not keep.any():
+                raise DatasetError("All rows contain null values; nothing left after dropping")
+            numeric, categorical, y, group = numeric[keep], categorical[keep], y[keep], group[keep]
+        X = self.transform_features(numeric, categorical)
+        return Dataset(
+            X=X,
+            y=y,
+            group=group,
+            feature_names=self.feature_names_,
+            n_numeric_features=self.n_numeric_,
+            name=table.name,
+            metadata=dict(table.metadata),
+        )
+
+    def transform_features(self, numeric, categorical=None) -> np.ndarray:
+        """Vectorized serving transform: raw columns → model-ready feature rows.
+
+        Missing numeric values are imputed with the fit-time column medians
+        and missing categories become the explicit ``"missing"`` category
+        (unseen categories encode as all-zero, the encoder's serving
+        behaviour), so the output always has one row per input record.
+        """
+        self._check_fitted()
+        numeric = np.asarray(numeric, dtype=np.float64)
+        if numeric.ndim == 1:
+            numeric = numeric.reshape(-1, 1)
+        if numeric.shape[1] != self.n_numeric_:
+            raise DatasetError(
+                f"Records have {numeric.shape[1]} numeric columns, "
+                f"pipeline was fitted with {self.n_numeric_}"
+            )
+        if categorical is None:
+            categorical = np.empty((numeric.shape[0], 0), dtype=object)
+        categorical = np.asarray(categorical, dtype=object)
+        if categorical.ndim == 1:
+            categorical = categorical.reshape(-1, 1)
+        if categorical.shape[1] != self.n_categorical_:
+            raise DatasetError(
+                f"Records have {categorical.shape[1]} categorical columns, "
+                f"pipeline was fitted with {self.n_categorical_}"
+            )
+
+        blocks = []
+        if self.n_numeric_:
+            block = numeric.copy()
+            missing = np.isnan(block)
+            if missing.any():
+                block[missing] = np.broadcast_to(self.numeric_fill_, block.shape)[missing]
+            blocks.append(self.scaler_.transform(block) if self.scaler_ is not None else block)
+        if self.n_categorical_:
+            blocks.append(self.encoder_.transform(self._impute_categorical(categorical)))
+        return np.hstack(blocks)
+
+    def _check_fitted(self, attribute: str = "feature_names_") -> None:
+        if not hasattr(self, attribute):
+            raise NotFittedError(
+                "PreprocessingPipeline is not fitted yet; call fit_transform() first"
+            )
+
     # ------------------------------------------------------------ internals
-    def _scale(self, numeric: np.ndarray) -> np.ndarray:
+    def _fit_scale(self, numeric: np.ndarray) -> np.ndarray:
         if self.scaler == "minmax":
-            return MinMaxScaler().fit_transform(numeric)
-        if self.scaler == "standard":
-            return StandardScaler().fit_transform(numeric)
-        return numeric.copy()
+            self.scaler_ = MinMaxScaler().fit(numeric)
+        elif self.scaler == "standard":
+            self.scaler_ = StandardScaler().fit(numeric)
+        else:
+            return numeric.copy()
+        return self.scaler_.transform(numeric)
 
     @staticmethod
     def _impute_numeric(numeric: np.ndarray) -> np.ndarray:
@@ -186,11 +299,14 @@ class PreprocessingPipeline:
     def _impute_categorical(categorical: np.ndarray) -> np.ndarray:
         if categorical.shape[1] == 0:
             return categorical
+        # Vectorized None detection: this runs per serving request through
+        # transform_features, so a Python double loop would dominate the
+        # latency of categorical-heavy traffic.
+        missing = _IS_NONE(categorical).astype(bool)
+        if not missing.any():
+            return categorical
         imputed = categorical.copy()
-        for row in range(imputed.shape[0]):
-            for col in range(imputed.shape[1]):
-                if imputed[row, col] is None:
-                    imputed[row, col] = "missing"
+        imputed[missing] = "missing"
         return imputed
 
 

@@ -39,3 +39,12 @@ class ConstraintError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment configuration cannot be executed."""
+
+
+class ArtifactError(ReproError):
+    """Raised when a serving artifact cannot be saved or loaded.
+
+    Covers schema-version mismatches, manifests referencing estimator
+    classes this build does not provide, corrupted or missing payloads, and
+    attempts to serialize objects that carry no persistable state.
+    """

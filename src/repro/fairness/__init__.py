@@ -18,10 +18,17 @@ from repro.fairness.metrics import (
     group_rates,
 )
 from repro.fairness.report import FairnessReport, evaluate_predictions
+from repro.fairness.streaming import (
+    FairnessAccumulator,
+    StreamCounts,
+    report_from_counts,
+)
 
 __all__ = [
+    "FairnessAccumulator",
     "FairnessReport",
     "GroupMapping",
+    "StreamCounts",
     "average_odds_difference",
     "average_odds_star",
     "disparate_impact",
@@ -31,4 +38,5 @@ __all__ = [
     "group_from_column",
     "group_from_threshold",
     "group_rates",
+    "report_from_counts",
 ]

@@ -90,6 +90,13 @@ class DeployedModel:
     intervention declared ``requires_group_at_predict`` (and is then
     mandatory); all other artifacts ignore it, so callers can always pass the
     group column when they have one.
+
+    ``predictor`` is the underlying estimator whose ``predict`` /
+    ``predict_proba`` the artifact wraps.  It is what
+    :mod:`repro.serving.artifacts` persists: a model built through
+    :meth:`from_predictor` (the path every registered intervention uses) can
+    be saved and reloaded with bit-identical predictions, whereas a model
+    built from bare callables cannot.
     """
 
     def __init__(
@@ -100,12 +107,33 @@ class DeployedModel:
         requires_group: bool = False,
         details: Optional[Dict[str, object]] = None,
         name: str = "model",
+        predictor: Optional[object] = None,
     ) -> None:
         self._predict_fn = predict_fn
         self._predict_proba_fn = predict_proba_fn
         self.requires_group = bool(requires_group)
         self.details: Dict[str, object] = dict(details or {})
         self.name = name
+        self.predictor = predictor
+
+    @classmethod
+    def from_predictor(
+        cls,
+        predictor: object,
+        *,
+        requires_group: bool = False,
+        details: Optional[Dict[str, object]] = None,
+        name: str = "model",
+    ) -> "DeployedModel":
+        """Wrap a fitted estimator exposing ``predict`` (and maybe ``predict_proba``)."""
+        return cls(
+            predictor.predict,
+            predict_proba_fn=getattr(predictor, "predict_proba", None),
+            requires_group=requires_group,
+            details=details,
+            name=name,
+            predictor=predictor,
+        )
 
     def _resolve_group(self, group) -> tuple:
         if self.requires_group:
@@ -139,6 +167,13 @@ class Intervention(BaseEstimator):
     ``get_params``/``set_params``/``__repr__`` (inherited from
     :class:`~repro.learners.base.BaseEstimator`), :meth:`clone`,
     :meth:`details` — comes for free.
+
+    Serialization is part of the protocol: every intervention declares its
+    fitted state through ``_state_attributes`` and inherits the
+    ``state_dict`` / ``load_state_dict`` pair from
+    :class:`~repro.learners.base.BaseEstimator`, which is what lets
+    :mod:`repro.serving.artifacts` persist a fitted intervention and restore
+    it with bit-identical behaviour.
     """
 
     capabilities: ClassVar[InterventionCapabilities] = InterventionCapabilities()

@@ -57,11 +57,7 @@ class _WeightedTrainingMixin:
         self._check_fitted("estimator_")
         model = self._final_learner(learner, seed)
         model.fit(split.train.X, split.train.y, sample_weight=self.weights_)
-        return DeployedModel(
-            model.predict,
-            predict_proba_fn=model.predict_proba,
-            name=type(self).__name__,
-        )
+        return DeployedModel.from_predictor(model, name=type(self).__name__)
 
     @property
     def weights_(self) -> np.ndarray:
@@ -75,6 +71,7 @@ class IdentityIntervention(Intervention):
     """No intervention: the final learner is trained on the unweighted data."""
 
     capabilities = InterventionCapabilities()
+    _state_attributes = ("fitted_",)
 
     def __init__(self, learner="lr", random_state: Optional[int] = 0) -> None:
         self.learner = learner
@@ -96,9 +93,7 @@ class IdentityIntervention(Intervention):
         self._check_fitted("fitted_")
         model = self._final_learner(learner, seed)
         model.fit(split.train.X, split.train.y)
-        return DeployedModel(
-            model.predict, predict_proba_fn=model.predict_proba, name="IdentityIntervention"
-        )
+        return DeployedModel.from_predictor(model, name="IdentityIntervention")
 
 
 @register_intervention(
@@ -108,6 +103,7 @@ class MultiModelIntervention(Intervention):
     """Naive model splitting: serving requires (and trusts) group membership."""
 
     capabilities = InterventionCapabilities(routes=True, requires_group_at_predict=True)
+    _state_attributes = ("estimator_",)
 
     def __init__(self, learner="lr", random_state: Optional[int] = 0) -> None:
         self.learner = learner
@@ -133,11 +129,8 @@ class MultiModelIntervention(Intervention):
                 learner=self.learner if learner is None else learner,
                 random_state=self.random_state if seed is None else seed,
             ).fit(split.train)
-        return DeployedModel(
-            estimator.predict,
-            predict_proba_fn=estimator.predict_proba,
-            requires_group=True,
-            name="MultiModelIntervention",
+        return DeployedModel.from_predictor(
+            estimator, requires_group=True, name="MultiModelIntervention"
         )
 
 
@@ -151,6 +144,7 @@ class DiffFairIntervention(Intervention):
     """DiffFair: model splitting with conformance-based, group-blind routing."""
 
     capabilities = InterventionCapabilities(routes=True)
+    _state_attributes = ("estimator_",)
 
     def __init__(
         self,
@@ -194,9 +188,8 @@ class DiffFairIntervention(Intervention):
                 random_state=self.random_state if seed is None else seed,
             ).fit(split.train)
         routes = estimator.route(split.deploy.X)
-        return DeployedModel(
-            estimator.predict,
-            predict_proba_fn=estimator.predict_proba,
+        return DeployedModel.from_predictor(
+            estimator,
             details={"minority_model_fraction": float(np.mean(routes == 1))},
             name="DiffFairIntervention",
         )
@@ -234,6 +227,7 @@ class ConFairIntervention(_WeightedTrainingMixin, Intervention):
         degree_param="alpha_u",
         requires_validation_for_tuning=True,
     )
+    _state_attributes = ("estimator_",)
 
     def __init__(
         self,
@@ -293,6 +287,7 @@ class KamiranIntervention(_WeightedTrainingMixin, Intervention):
     """KAM: uniform weights per (group, label) cell restoring independence."""
 
     capabilities = InterventionCapabilities(produces_weights=True)
+    _state_attributes = ("estimator_",)
 
     def __init__(self, learner="lr", random_state: Optional[int] = 0) -> None:
         self.learner = learner
@@ -315,6 +310,7 @@ class OmniFairIntervention(_WeightedTrainingMixin, Intervention):
         degree_param="lam",
         requires_validation_for_tuning=True,
     )
+    _state_attributes = ("estimator_",)
 
     def __init__(
         self,
@@ -333,7 +329,6 @@ class OmniFairIntervention(_WeightedTrainingMixin, Intervention):
         self.random_state = random_state
 
     def fit(self, train: Dataset, validation: Optional[Dataset] = None) -> "OmniFairIntervention":
-        self.train_ = train
         self.estimator_ = OmniFairReweighing(
             lam=self.lam,
             learner=self.learner,
@@ -351,7 +346,7 @@ class OmniFairIntervention(_WeightedTrainingMixin, Intervention):
     def weights_for_degree(self, degree: float) -> np.ndarray:
         """Weights at ``λ = degree`` (re-runs the model-in-the-loop calibration)."""
         self._check_fitted("estimator_")
-        return self.estimator_.compute_weights(self.train_, float(degree))[0]
+        return self.estimator_.compute_weights(None, float(degree))[0]
 
 
 @register_intervention("cap", summary="Capuchin-style invasive data repair")
@@ -359,6 +354,7 @@ class CapuchinIntervention(Intervention):
     """CAP: resample the training data toward group/label independence."""
 
     capabilities = InterventionCapabilities(repairs_data=True)
+    _state_attributes = ("estimator_",)
 
     def __init__(
         self,
@@ -393,9 +389,7 @@ class CapuchinIntervention(Intervention):
     ) -> DeployedModel:
         self._check_fitted("estimator_")
         model = self.estimator_.fit_learner(self._final_learner(learner, seed))
-        return DeployedModel(
-            model.predict, predict_proba_fn=model.predict_proba, name="CapuchinIntervention"
-        )
+        return DeployedModel.from_predictor(model, name="CapuchinIntervention")
 
 
 def _same_final_model(intervention: Intervention, learner, seed) -> bool:

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import copy
 import inspect
-from typing import Any, Dict, Optional
+from typing import Any, ClassVar, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 
 
 class BaseEstimator:
@@ -24,7 +24,17 @@ class BaseEstimator:
     Subclasses must store every constructor argument on ``self`` under the
     same name (the usual scikit-learn convention), which is what makes
     :meth:`get_params` and :func:`clone` work without any per-class code.
+
+    Subclasses that want to participate in artifact serialization
+    (:mod:`repro.serving.artifacts`) additionally declare
+    ``_state_attributes``: the names of the fitted attributes that, together
+    with the constructor parameters, fully determine the estimator's
+    predictions.  :meth:`state_dict` / :meth:`load_state_dict` then work
+    without per-class code; estimators whose fitted state is not a flat set
+    of attributes (e.g. trees) override the pair instead.
     """
+
+    _state_attributes: ClassVar[Tuple[str, ...]] = ()
 
     def get_params(self) -> Dict[str, Any]:
         """Return constructor hyper-parameters as a dict."""
@@ -45,6 +55,32 @@ class BaseEstimator:
                     f"Invalid parameter {name!r} for {type(self).__name__}; "
                     f"valid parameters are {sorted(valid)}"
                 )
+            setattr(self, name, value)
+        return self
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Return the fitted state as ``{attribute: value}``.
+
+        Only attributes that exist are included, so calling this on an
+        unfitted estimator returns an empty dict (an unfitted estimator is a
+        valid thing to persist: it round-trips through its parameters alone).
+        """
+        return {
+            name: getattr(self, name)
+            for name in self._state_attributes
+            if hasattr(self, name)
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> "BaseEstimator":
+        """Restore fitted state produced by :meth:`state_dict` and return ``self``."""
+        unknown = sorted(set(state) - set(self._state_attributes))
+        if unknown:
+            raise ValidationError(
+                f"{type(self).__name__} does not accept state entr"
+                f"{'ies' if len(unknown) > 1 else 'y'} {', '.join(map(repr, unknown))}; "
+                f"accepted state attributes: {tuple(self._state_attributes)}"
+            )
+        for name, value in state.items():
             setattr(self, name, value)
         return self
 

@@ -55,6 +55,14 @@ class GradientBoostingClassifier(BaseClassifier):
         Weighted training loss after each boosting round.
     """
 
+    _state_attributes = (
+        "estimators_",
+        "init_score_",
+        "train_losses_",
+        "n_features_",
+        "classes_",
+    )
+
     def __init__(
         self,
         n_estimators: int = 50,

@@ -38,6 +38,31 @@ class OneHotEncoder(BaseTransformer):
             raise ValueError("handle_unknown must be 'ignore' or 'error'")
         self.handle_unknown = handle_unknown
 
+    def state_dict(self) -> dict:
+        """Fitted state with the category arrays unpacked into plain lists.
+
+        Category values are arbitrary hashable scalars held in object arrays,
+        which binary payload formats cannot store; lists round-trip them
+        exactly (the fitted ordering is preserved verbatim).
+        """
+        if not hasattr(self, "categories_"):
+            return {}
+        return {
+            "categories_": [column.tolist() for column in self.categories_],
+            "n_features_": self.n_features_,
+            "feature_names_": list(self.feature_names_),
+        }
+
+    def load_state_dict(self, state: dict) -> "OneHotEncoder":
+        """Restore state produced by :meth:`state_dict`."""
+        if state:
+            self.categories_ = [
+                np.array(list(column), dtype=object) for column in state["categories_"]
+            ]
+            self.n_features_ = int(state["n_features_"])
+            self.feature_names_ = list(state["feature_names_"])
+        return self
+
     def fit(self, X) -> "OneHotEncoder":
         X = self._as_object_2d(X)
         self.categories_: List[np.ndarray] = [

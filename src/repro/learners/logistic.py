@@ -57,6 +57,8 @@ class LogisticRegressionClassifier(BaseClassifier):
         ``max_iter``.
     """
 
+    _state_attributes = ("coef_", "intercept_", "n_iter_", "converged_", "classes_")
+
     def __init__(
         self,
         learning_rate: float = 0.5,

@@ -24,6 +24,8 @@ class StandardScaler(BaseTransformer):
     scale_ : per-feature training standard deviations (1.0 for constants).
     """
 
+    _state_attributes = ("mean_", "scale_", "n_features_")
+
     def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
         self.with_mean = with_mean
         self.with_std = with_std
@@ -62,6 +64,8 @@ class MinMaxScaler(BaseTransformer):
     Constant columns map to 0.  Values outside the training range are allowed
     (and map outside ``[0, 1]``) unless ``clip=True``.
     """
+
+    _state_attributes = ("min_", "range_", "n_features_")
 
     def __init__(self, clip: bool = False) -> None:
         self.clip = clip

@@ -42,6 +42,63 @@ class _TreeNode:
         return self.left is None
 
 
+def _flatten_tree(root: _TreeNode) -> dict:
+    """Serialize a fitted tree into parallel arrays (preorder node order).
+
+    ``left`` / ``right`` hold child node indices, ``-1`` for leaves; the
+    float arrays preserve thresholds and predictions bit-exactly.
+    """
+    nodes: List[_TreeNode] = []
+
+    def visit(node: _TreeNode) -> int:
+        index = len(nodes)
+        nodes.append(node)
+        if not node.is_leaf:
+            visit(node.left)
+            visit(node.right)
+        return index
+
+    visit(root)
+    index_of = {id(node): i for i, node in enumerate(nodes)}
+    left = np.array(
+        [index_of[id(n.left)] if not n.is_leaf else -1 for n in nodes], dtype=np.int64
+    )
+    right = np.array(
+        [index_of[id(n.right)] if not n.is_leaf else -1 for n in nodes], dtype=np.int64
+    )
+    return {
+        "prediction": np.array([n.prediction for n in nodes], dtype=np.float64),
+        "feature": np.array([n.feature for n in nodes], dtype=np.int64),
+        "threshold": np.array([n.threshold for n in nodes], dtype=np.float64),
+        "left": left,
+        "right": right,
+        "n_samples": np.array([n.n_samples for n in nodes], dtype=np.int64),
+        "depth": np.array([n.depth for n in nodes], dtype=np.int64),
+    }
+
+
+def _unflatten_tree(flat: dict) -> _TreeNode:
+    """Rebuild the node structure produced by :func:`_flatten_tree`."""
+    prediction = np.asarray(flat["prediction"], dtype=np.float64)
+    nodes = [
+        _TreeNode(
+            prediction=float(prediction[i]),
+            feature=int(flat["feature"][i]),
+            threshold=float(flat["threshold"][i]),
+            n_samples=int(flat["n_samples"][i]),
+            depth=int(flat["depth"][i]),
+        )
+        for i in range(prediction.shape[0])
+    ]
+    for i, node in enumerate(nodes):
+        left_index = int(flat["left"][i])
+        if left_index >= 0:
+            node.left = nodes[left_index]
+            node.right = nodes[int(flat["right"][i])]
+            node.children = [node.left, node.right]
+    return nodes[0]
+
+
 def _weighted_mean(values: np.ndarray, weights: np.ndarray) -> float:
     total = weights.sum()
     if total <= 0:
@@ -182,6 +239,20 @@ class DecisionTreeRegressor(BaseEstimator):
                 best = (feature, float(threshold))
         return best
 
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> dict:
+        """Fitted state as flat arrays (the node structure is flattened)."""
+        if not hasattr(self, "root_"):
+            return {}
+        return {"n_features_": self.n_features_, "tree_": _flatten_tree(self.root_)}
+
+    def load_state_dict(self, state: dict) -> "DecisionTreeRegressor":
+        """Restore a tree flattened by :meth:`state_dict`."""
+        if state:
+            self.n_features_ = int(state["n_features_"])
+            self.root_ = _unflatten_tree(state["tree_"])
+        return self
+
     # -------------------------------------------------------------- predict
     def predict(self, X) -> np.ndarray:
         """Return the leaf means for every row of ``X``."""
@@ -231,7 +302,13 @@ class DecisionTreeClassifier(BaseClassifier):
     The tree is fitted against 0/1 labels under weighted squared error, so a
     leaf's prediction is the (weighted) positive rate of its training samples;
     that value is used directly as the positive-class probability.
+
+    ``random_state`` is accepted for registry uniformity (every learner can
+    be built as ``make_learner(name, random_state=seed)``); tree construction
+    is fully deterministic, so the seed changes nothing.
     """
+
+    _state_attributes = ("_tree", "classes_")
 
     def __init__(
         self,
@@ -239,11 +316,13 @@ class DecisionTreeClassifier(BaseClassifier):
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         max_candidate_thresholds: Optional[int] = 64,
+        random_state: Optional[int] = 0,
     ) -> None:
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_candidate_thresholds = max_candidate_thresholds
+        self.random_state = random_state
 
     def fit(self, X, y, sample_weight: Optional[np.ndarray] = None) -> "DecisionTreeClassifier":
         from repro.utils.validation import check_binary_labels

@@ -1,0 +1,11 @@
+"""``python -m repro.serve`` — command-line entry to the serving subsystem.
+
+Thin alias for :mod:`repro.serving.cli` (the ``repro-serve`` console script),
+kept importable as a plain module so the ``-m`` form works without installing
+the package.
+"""
+
+from repro.serving.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

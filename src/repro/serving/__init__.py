@@ -1,0 +1,58 @@
+"""Model serving: artifacts, a batched prediction service, online monitoring.
+
+This subpackage turns a fitted intervention into something *deployable*,
+completing the paper's non-invasive premise (fair serving without the group
+attribute at prediction time):
+
+* :mod:`repro.serving.artifacts` — schema-versioned save/load of fitted
+  learners, interventions, :class:`~repro.interventions.DeployedModel`
+  artifacts, and whole :class:`~repro.interventions.PipelineResult` bundles
+  (manifest JSON + npz payload, bit-identical prediction round trips,
+  :class:`~repro.exceptions.ArtifactError` on any mismatch);
+* :mod:`repro.serving.service` — :class:`PredictionService`, a micro-batched
+  (optionally thread-pooled) serving front end that enforces the
+  intervention's declared capabilities;
+* :mod:`repro.serving.monitor` — :class:`FairnessMonitor`, sliding-window
+  DI*/AOD*/balanced-accuracy over served traffic plus a conformance-violation
+  drift alarm built on the training-time partition profile;
+* :mod:`repro.serving.cli` — the ``repro-serve`` command
+  (``fit``/``save``/``score``/``serve``), also ``python -m repro.serve``.
+
+Quickstart::
+
+    from repro import FairnessPipeline
+    from repro.serving import PredictionService, FairnessMonitor, save_artifact
+
+    result = FairnessPipeline("diffair", dataset="meps", seed=7).run()
+    save_artifact(result, "artifacts/meps-diffair")
+
+    service = PredictionService.from_artifact(
+        "artifacts/meps-diffair", monitor=FairnessMonitor(window_size=5000)
+    )
+    predictions = service.predict(incoming_rows)          # group-blind
+    print(service.monitor.windowed_summary())
+"""
+
+from repro.serving.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    describe_artifact,
+    load_artifact,
+    read_manifest,
+    register_serializable,
+    save_artifact,
+)
+from repro.serving.monitor import DriftStatus, FairnessMonitor
+from repro.serving.service import PredictionService, ServiceStats
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "DriftStatus",
+    "FairnessMonitor",
+    "PredictionService",
+    "ServiceStats",
+    "describe_artifact",
+    "load_artifact",
+    "read_manifest",
+    "register_serializable",
+    "save_artifact",
+]

@@ -1,0 +1,242 @@
+"""Online fairness and drift monitoring of served traffic.
+
+The paper frames unfairness as a *data drift* problem: the minority's tuples
+follow a different distribution than the majority's, and a deployed model's
+fairness degrades exactly when the serving distribution drifts relative to
+the profiled training partitions.  :class:`FairnessMonitor` operationalizes
+both halves of that framing for a live service:
+
+* **fairness over a sliding window** — DI*, AOD*, and balanced accuracy
+  computed incrementally from :class:`~repro.fairness.streaming.StreamCounts`
+  (integer sufficient statistics, so window eviction is subtraction and the
+  windowed report is bit-identical to the offline
+  :func:`~repro.fairness.evaluate_predictions` on the same rows);
+* **conformance-violation drift** — every observed tuple is scored against
+  the training-time conformance constraints (the same
+  :class:`~repro.core.partitions.PartitionProfile` DiffFair routes by); a
+  windowed mean violation well above the fit-time baseline means the serving
+  data no longer conforms to any training partition, and the monitor raises
+  a drift alarm before the fairness metrics (which need labels) can react.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.core.partitions import PartitionProfile
+from repro.exceptions import ValidationError
+from repro.fairness.report import FairnessReport
+from repro.fairness.streaming import (
+    StreamCounts,
+    fold_disparate_impact,
+    report_from_counts,
+)
+
+
+@dataclass(frozen=True)
+class DriftStatus:
+    """Snapshot of the conformance-drift alarm.
+
+    ``ratio`` is the windowed mean violation over the baseline (``inf`` when
+    the baseline is zero and violations are observed); ``alarm`` is set once
+    enough scored samples are in the window and the mean violation exceeds
+    ``max(drift_factor * baseline, min_violation)``.
+    """
+
+    n_scored: int
+    mean_violation: float
+    baseline_violation: Optional[float]
+    ratio: Optional[float]
+    alarm: bool
+
+
+class FairnessMonitor:
+    """Sliding-window fairness metrics plus a conformance-drift alarm.
+
+    Parameters
+    ----------
+    window_size:
+        Target number of most-recent observations retained.  Eviction is
+        chunk-granular (whole update batches are dropped oldest-first once
+        the total exceeds the window), which keeps updates O(1).
+    profile:
+        Optional :class:`PartitionProfile` (e.g. ``DiffFair.profile_`` or the
+        output of :func:`repro.core.profile_partitions`).  When provided,
+        every observed feature batch is scored for conformance violation and
+        the drift alarm becomes active.
+    n_numeric_features:
+        How many leading feature columns are numeric (what the constraints
+        profile).  Defaults to the width the profile's constraints expect.
+    drift_factor:
+        Alarm when the windowed mean violation exceeds this multiple of the
+        baseline violation.
+    min_violation:
+        Absolute floor for the alarm threshold, so near-zero baselines do
+        not turn noise into alarms.
+    min_samples:
+        Minimum scored observations in the window before the alarm may fire.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 5000,
+        *,
+        profile: Optional[PartitionProfile] = None,
+        n_numeric_features: Optional[int] = None,
+        drift_factor: float = 3.0,
+        min_violation: float = 0.05,
+        min_samples: int = 50,
+    ) -> None:
+        if window_size < 1:
+            raise ValidationError("window_size must be at least 1")
+        if drift_factor <= 0:
+            raise ValidationError("drift_factor must be positive")
+        self.window_size = int(window_size)
+        self.profile = profile
+        self.n_numeric_features = n_numeric_features
+        self.drift_factor = float(drift_factor)
+        self.min_violation = float(min_violation)
+        self.min_samples = int(min_samples)
+
+        # (counts, batch size, violation sum, scored rows) per retained batch.
+        self._chunks: Deque[Tuple[StreamCounts, int, float, int]] = deque()
+        self._window_counts = StreamCounts()
+        self._window_rows = 0
+        self._violation_sum = 0.0
+        self._violation_rows = 0
+        self._baseline_violation: Optional[float] = None
+        self.n_seen = 0
+
+    # ----------------------------------------------------------- updating
+    def update(self, y_pred, group=None, *, y_true=None, X=None) -> None:
+        """Fold one served batch into the window.
+
+        Parameters
+        ----------
+        y_pred:
+            The predictions the service returned.
+        group:
+            Group membership per row — audit-time information the per-group
+            fairness accounting needs (even for interventions that never
+            read it at prediction time).  ``None`` is the genuinely
+            group-blind case: the batch still counts toward the window and
+            feeds the drift alarm (conformance scoring needs only ``X``),
+            but contributes nothing to the fairness metrics.
+        y_true:
+            Optional ground-truth labels (delayed labels are the norm in
+            serving; windows mixing labelled and unlabelled traffic support
+            :meth:`windowed_summary` but not the full report).
+        X:
+            Optional feature rows; scored for conformance violation when the
+            monitor holds a profile.
+        """
+        counts = (
+            StreamCounts.from_batch(y_pred, group, y_true)
+            if group is not None
+            else StreamCounts()
+        )
+        size = int(np.asarray(y_pred).ravel().shape[0])
+        violation_sum, scored = 0.0, 0
+        if X is not None and self.profile is not None:
+            violations = self.violation_scores(X)
+            violation_sum = float(violations.sum())
+            scored = int(violations.shape[0])
+        self._chunks.append((counts, size, violation_sum, scored))
+        self._window_counts += counts
+        self._window_rows += size
+        self._violation_sum += violation_sum
+        self._violation_rows += scored
+        self.n_seen += size
+        self._evict()
+
+    def _evict(self) -> None:
+        while self._window_rows > self.window_size and len(self._chunks) > 1:
+            counts, size, violation_sum, scored = self._chunks.popleft()
+            self._window_counts -= counts
+            self._window_rows -= size
+            self._violation_sum -= violation_sum
+            self._violation_rows -= scored
+
+    # -------------------------------------------------------------- drift
+    def violation_scores(self, X) -> np.ndarray:
+        """Per-row conformance violation against the *closest* training partition.
+
+        A tuple that conforms to any (group, label) partition of the training
+        data scores ~0; tuples conforming to none score high — the paper's
+        signature of drift.
+        """
+        if self.profile is None:
+            raise ValidationError("FairnessMonitor has no partition profile to score against")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        width = self.n_numeric_features
+        if width is None:
+            first = next(iter(self.profile.constraint_sets.values()))
+            width = first.constraints[0].projection.n_features if len(first) else X.shape[1]
+        numeric = X[:, :width]
+        per_group = [
+            self.profile.min_violation_for_group(g, numeric)
+            for g in (0, 1)
+            if any(key[0] == g for key in self.profile.keys())
+        ]
+        return np.minimum.reduce(per_group)
+
+    def set_drift_baseline(self, X) -> float:
+        """Fix the reference mean violation (typically on fit-time data)."""
+        baseline = float(self.violation_scores(X).mean())
+        self._baseline_violation = baseline
+        return baseline
+
+    def drift_status(self) -> DriftStatus:
+        """Current state of the conformance-drift alarm."""
+        n = self._violation_rows
+        mean = self._violation_sum / n if n else 0.0
+        baseline = self._baseline_violation
+        if baseline is None:
+            return DriftStatus(n, mean, None, None, False)
+        if baseline > 0:
+            ratio: Optional[float] = mean / baseline
+        else:
+            ratio = float("inf") if mean > 0 else 1.0
+        threshold = max(self.drift_factor * baseline, self.min_violation)
+        alarm = n >= self.min_samples and mean > threshold
+        return DriftStatus(n, mean, baseline, ratio, alarm)
+
+    # ------------------------------------------------------------ reports
+    @property
+    def window_counts(self) -> StreamCounts:
+        """The window's current sufficient statistics (a defensive copy)."""
+        return self._window_counts.copy()
+
+    @property
+    def n_window(self) -> int:
+        return self._window_rows
+
+    def windowed_report(self) -> FairnessReport:
+        """Full fairness report over the window (requires labelled traffic)."""
+        return report_from_counts(self._window_counts)
+
+    def windowed_summary(self) -> dict:
+        """Label-free window view: selection rates, DI*, and drift state."""
+        counts = self._window_counts
+        out = {"n_window": self._window_rows, "n_seen": self.n_seen}
+        if counts.n_samples and counts.group_n(0) and counts.group_n(1):
+            sr_minority = counts.selection_rate(1)
+            sr_majority = counts.selection_rate(0)
+            _, di_star = fold_disparate_impact(sr_minority, sr_majority)
+            out["selection_rate_minority"] = sr_minority
+            out["selection_rate_majority"] = sr_majority
+            out["di_star"] = di_star
+        drift = self.drift_status()
+        out["drift"] = {
+            "n_scored": drift.n_scored,
+            "mean_violation": drift.mean_violation,
+            "baseline_violation": drift.baseline_violation,
+            "alarm": drift.alarm,
+        }
+        return out

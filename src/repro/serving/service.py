@@ -1,0 +1,211 @@
+"""``PredictionService``: serve a fitted fairness model to batched traffic.
+
+The service is the consumer of the serving contract the intervention layer
+declares: it loads a :class:`~repro.interventions.DeployedModel` (directly,
+from a :class:`~repro.interventions.PipelineResult`, or from a saved
+artifact), splits incoming requests into micro-batches, optionally fans the
+batches across a thread pool (NumPy releases the GIL in the hot kernels), and
+enforces the intervention's declared capabilities: a request without group
+membership is rejected *only* when the producing intervention declared
+``requires_group_at_predict`` — ConFair and DiffFair traffic stays
+group-blind end to end, which is the paper's deployment premise.
+
+A :class:`~repro.serving.monitor.FairnessMonitor` can be attached; every
+served batch then feeds the monitor's sliding window (predictions, audit
+group labels, optional delayed ground truth, and the raw features for
+conformance-drift scoring).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.preprocessing import PreprocessingPipeline
+from repro.exceptions import ArtifactError, ValidationError
+from repro.fairness.report import FairnessReport
+from repro.fairness.streaming import StreamCounts, report_from_counts
+from repro.interventions.base import DeployedModel
+from repro.interventions.pipeline import PipelineResult
+from repro.serving.artifacts import load_artifact
+from repro.serving.monitor import FairnessMonitor
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative serving statistics (requests, records, wall time)."""
+
+    n_requests: int = 0
+    n_records: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def records_per_second(self) -> float:
+        return self.n_records / self.total_seconds if self.total_seconds > 0 else 0.0
+
+
+class PredictionService:
+    """Micro-batched serving front-end over a :class:`DeployedModel`.
+
+    Parameters
+    ----------
+    model:
+        A :class:`DeployedModel`, a :class:`PipelineResult` (its ``model`` is
+        served), or any fitted estimator exposing ``predict`` (wrapped via
+        :meth:`DeployedModel.from_predictor`).
+    batch_size:
+        Maximum rows per micro-batch.
+    max_workers:
+        Thread-pool width for concurrent micro-batches; ``None``/``1`` serves
+        sequentially.  Results are order-preserving either way.
+    monitor:
+        Optional :class:`FairnessMonitor` fed after every request.
+    preprocessor:
+        Optional fitted :class:`PreprocessingPipeline`; enables
+        :meth:`predict_records` on raw numeric/categorical columns, reusing
+        the fit-time scaler and one-hot vocabulary vectorized.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        batch_size: int = 2048,
+        max_workers: Optional[int] = None,
+        monitor: Optional[FairnessMonitor] = None,
+        preprocessor: Optional[PreprocessingPipeline] = None,
+    ) -> None:
+        if isinstance(model, PipelineResult):
+            model = model.model
+        if not isinstance(model, DeployedModel):
+            model = DeployedModel.from_predictor(model, name=type(model).__name__)
+        if batch_size < 1:
+            raise ValidationError("batch_size must be at least 1")
+        if max_workers is not None and max_workers < 1:
+            raise ValidationError("max_workers must be at least 1 when given")
+        self.model = model
+        self.batch_size = int(batch_size)
+        self.max_workers = max_workers
+        self.monitor = monitor
+        self.preprocessor = preprocessor
+        self.stats = ServiceStats()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------ factory
+    @classmethod
+    def from_artifact(cls, path, **kwargs) -> "PredictionService":
+        """Build a service from an artifact directory saved by ``save_artifact``.
+
+        Accepts ``deployed_model`` and ``pipeline_result`` artifacts (and any
+        artifact whose payload exposes ``predict``).
+        """
+        loaded = load_artifact(path)
+        if isinstance(loaded, PipelineResult):
+            loaded = loaded.model
+        if not isinstance(loaded, DeployedModel) and not hasattr(loaded, "predict"):
+            raise ArtifactError(
+                f"Artifact at {path} contains {type(loaded).__name__}, which is not servable"
+            )
+        return cls(loaded, **kwargs)
+
+    # ------------------------------------------------------------ serving
+    @property
+    def requires_group(self) -> bool:
+        """Whether requests must carry group membership (capability-driven)."""
+        return self.model.requires_group
+
+    def predict(self, X, group=None, *, y_true=None) -> np.ndarray:
+        """Serve one request of ``len(X)`` records and return the predictions.
+
+        ``group`` is required only when the model's intervention declared
+        ``requires_group_at_predict``; otherwise it is optional audit
+        information consumed by the attached monitor (never by the model).
+        ``y_true`` (optional, audit) likewise only feeds the monitor.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if self.model.requires_group and group is None:
+            raise ValidationError(
+                f"{self.model.name} declared requires_group_at_predict; this request "
+                "must include the group array (group-blind serving is only available "
+                "for interventions that did not declare the capability)"
+            )
+        if group is not None:
+            group = np.asarray(group).ravel()
+            if group.shape[0] != X.shape[0]:
+                raise ValidationError("X and group must have the same number of rows")
+
+        start = time.perf_counter()
+        predictions = self._predict_batched(X, group)
+        elapsed = time.perf_counter() - start
+
+        self.stats.n_requests += 1
+        self.stats.n_records += int(X.shape[0])
+        self.stats.total_seconds += elapsed
+        if self.monitor is not None:
+            # Group-blind requests still feed the monitor: the drift alarm
+            # scores features alone, only the fairness counts need `group`.
+            self.monitor.update(predictions, group, y_true=y_true, X=X)
+        return predictions
+
+    def predict_records(self, numeric, categorical=None, group=None, *, y_true=None) -> np.ndarray:
+        """Serve *raw* records through the fit-time preprocessing, then predict."""
+        if self.preprocessor is None:
+            raise ValidationError(
+                "PredictionService has no preprocessor; construct it with "
+                "preprocessor= to serve raw records"
+            )
+        X = self.preprocessor.transform_features(numeric, categorical)
+        return self.predict(X, group, y_true=y_true)
+
+    def score(self, X, y_true, group) -> FairnessReport:
+        """Serve a labelled batch and return its offline-equivalent report.
+
+        The report is computed from the same streaming counts the monitor
+        accumulates, so ``score`` and the windowed monitor agree exactly.
+        """
+        y_true = np.asarray(y_true).ravel()
+        predictions = self.predict(X, group, y_true=y_true)
+        return report_from_counts(StreamCounts.from_batch(predictions, group, y_true))
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for sequential services)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- batching
+    def _worker_pool(self) -> ThreadPoolExecutor:
+        # One pool for the service's lifetime: per-request thread spawn and
+        # join would dominate small-request latency.
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _predict_batched(self, X: np.ndarray, group) -> np.ndarray:
+        n = X.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        slices = [slice(i, min(i + self.batch_size, n)) for i in range(0, n, self.batch_size)]
+        if self.max_workers is not None and self.max_workers > 1 and len(slices) > 1:
+            chunks = list(
+                self._worker_pool().map(lambda sl: self._predict_one(X, group, sl), slices)
+            )
+        else:
+            chunks = [self._predict_one(X, group, sl) for sl in slices]
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+    def _predict_one(self, X: np.ndarray, group, sl: slice) -> np.ndarray:
+        group_slice = group[sl] if (group is not None and self.model.requires_group) else None
+        return np.asarray(self.model.predict(X[sl], group=group_slice))

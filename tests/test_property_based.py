@@ -99,12 +99,22 @@ class TestConstraintProperties:
         ),
         st.floats(1.0, 20.0),
     )
-    def test_shifting_away_never_decreases_mean_violation(self, X, shift):
+    def test_shifting_away_never_decreases_mean_violation(self, X, scale):
+        # Monotonicity is asserted for *dilation away from the profile
+        # center*: bounds are mean ± k·std per projection, so scaling the
+        # residuals (X - mean) moves every projected value radially away
+        # from its interval center and the per-row distance max(0, t|v-m| -
+        # k·σ) is non-decreasing in t — a theorem of the quantitative
+        # semantics.  (A uniform *translation* is not monotone: rows below a
+        # lower bound first move toward the interval, and saturated
+        # violations on near-constant data tie at the weighted bound, which
+        # made the translation form of this property flake.)
         if np.allclose(X.std(axis=0), 0.0):
             X = X + np.random.default_rng(1).normal(0, 1e-3, size=X.shape)
         constraint_set = discover_constraints(X)
-        near = constraint_set.violation(X + shift).mean()
-        far = constraint_set.violation(X + 3 * shift).mean()
+        center = X.mean(axis=0)
+        near = constraint_set.violation(center + scale * (X - center)).mean()
+        far = constraint_set.violation(center + 3 * scale * (X - center)).mean()
         assert far >= near - 1e-9
 
     @SETTINGS

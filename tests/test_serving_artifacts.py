@@ -1,0 +1,194 @@
+"""Tests for artifact save/load: round-trip fidelity and failure modes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import FairnessPipeline, available_interventions
+from repro.datasets import make_drifted_groups, split_dataset
+from repro.datasets.preprocessing import PreprocessingPipeline, RawTable
+from repro.exceptions import ArtifactError
+from repro.interventions import DeployedModel, PipelineResult
+from repro.learners import make_learner
+from repro.learners.registry import available_learners
+from repro.serving.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    MANIFEST_NAME,
+    PAYLOAD_NAME,
+    describe_artifact,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+)
+
+FAST_KWARGS = {
+    "confair": {"tuning_grid": (0.0, 1.0)},
+    "confair0": {"tuning_grid": (0.0, 1.0)},
+    "omn": {"lam_grid": (0.0, 0.5)},
+}
+
+
+@pytest.fixture(scope="module")
+def serving_split():
+    data = make_drifted_groups(
+        n_majority=260,
+        n_minority=120,
+        n_features=4,
+        drift_angle=75.0,
+        class_sep=1.4,
+        group_shift=2.5,
+        name="serving-unit",
+        random_state=5,
+    )
+    return split_dataset(data, random_state=5)
+
+
+def _run(serving_split, intervention, learner) -> PipelineResult:
+    return FairnessPipeline(
+        intervention,
+        learner=learner,
+        dataset=serving_split,
+        seed=3,
+        intervention_params=FAST_KWARGS.get(intervention),
+    ).run()
+
+
+class TestRoundTripSweep:
+    """``load(save(model)).predict(X)`` is bit-identical for every method × learner."""
+
+    @pytest.mark.parametrize("intervention", available_interventions())
+    @pytest.mark.parametrize("learner", available_learners())
+    def test_pipeline_result_round_trip(self, tmp_path, serving_split, intervention, learner):
+        result = _run(serving_split, intervention, learner)
+        loaded = load_artifact(save_artifact(result, tmp_path / "artifact"))
+
+        assert isinstance(loaded, PipelineResult)
+        assert loaded.method == result.method
+        assert loaded.report == result.report
+        np.testing.assert_array_equal(loaded.predictions, result.predictions)
+
+        deploy = serving_split.deploy
+        expected = result.model.predict(deploy.X, group=deploy.group)
+        actual = loaded.model.predict(deploy.X, group=deploy.group)
+        np.testing.assert_array_equal(actual, expected)
+
+        # The fitted intervention also survives on its own and can rebuild a
+        # serving model with the same predictions.
+        fitted = load_artifact(save_artifact(result.intervention, tmp_path / "intervention"))
+        rebuilt = fitted.make_model(serving_split, learner=learner, seed=3)
+        np.testing.assert_array_equal(
+            rebuilt.predict(deploy.X, group=deploy.group), expected
+        )
+
+
+class TestSharedReferences:
+    def test_shared_predictor_stored_once_and_identity_restored(self, tmp_path, serving_split):
+        result = _run(serving_split, "diffair", "lr")
+        assert result.model.predictor is result.intervention.estimator_
+        path = save_artifact(result, tmp_path / "a")
+        manifest_text = (path / MANIFEST_NAME).read_text(encoding="utf-8")
+        assert manifest_text.count("core.diffair.DiffFair") == 1  # deduplicated
+        loaded = load_artifact(path)
+        assert loaded.model.predictor is loaded.intervention.estimator_
+
+
+class TestLearnerRoundTrip:
+    @pytest.mark.parametrize("learner", available_learners())
+    def test_probabilities_bit_identical(self, tmp_path, linear_data, learner):
+        X, y = linear_data
+        model = make_learner(learner, random_state=0).fit(X, y)
+        loaded = load_artifact(save_artifact(model, tmp_path / learner))
+        np.testing.assert_array_equal(loaded.predict_proba(X), model.predict_proba(X))
+        np.testing.assert_array_equal(loaded.predict(X), model.predict(X))
+
+
+class TestPreprocessingRoundTrip:
+    def test_transform_features_identical(self, tmp_path):
+        rng = np.random.default_rng(0)
+        table = RawTable(
+            numeric=rng.normal(size=(60, 2)),
+            categorical=np.array(
+                [["a", "b", "c"][i % 3] for i in range(60)], dtype=object
+            ).reshape(-1, 1),
+            y=rng.integers(0, 2, size=60),
+            group=rng.integers(0, 2, size=60),
+            name="raw-unit",
+        )
+        pipeline = PreprocessingPipeline()
+        pipeline.fit_transform(table)
+        loaded = load_artifact(save_artifact(pipeline, tmp_path / "prep"))
+
+        fresh_numeric = rng.normal(size=(9, 2))
+        fresh_numeric[0, 0] = np.nan  # imputed from fit-time medians
+        fresh_categorical = np.array(
+            [["a"], ["b"], ["zz"], ["c"], [None], ["a"], ["b"], ["c"], ["a"]], dtype=object
+        )
+        np.testing.assert_array_equal(
+            loaded.transform_features(fresh_numeric, fresh_categorical),
+            pipeline.transform_features(fresh_numeric, fresh_categorical),
+        )
+        assert loaded.feature_names_ == pipeline.feature_names_
+
+
+class TestManifest:
+    def test_describe_and_metadata(self, tmp_path, serving_split):
+        result = _run(serving_split, "none", "lr")
+        path = save_artifact(result, tmp_path / "a", metadata={"note": "unit", "seed": 3})
+        info = describe_artifact(path)
+        assert info["kind"] == "pipeline_result"
+        assert info["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert info["metadata"] == {"note": "unit", "seed": 3}
+        assert info["n_arrays"] >= 1
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="manifest"):
+            load_artifact(tmp_path / "nowhere")
+
+    def test_corrupted_manifest_raises(self, tmp_path, serving_split):
+        path = save_artifact(_run(serving_split, "none", "lr"), tmp_path / "a")
+        (path / MANIFEST_NAME).write_text("{ not json", encoding="utf-8")
+        with pytest.raises(ArtifactError, match="[Cc]orrupted"):
+            load_artifact(path)
+
+    def test_version_mismatch_raises(self, tmp_path, serving_split):
+        path = save_artifact(_run(serving_split, "none", "lr"), tmp_path / "a")
+        manifest = read_manifest(path)
+        manifest["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ArtifactError, match="version"):
+            load_artifact(path)
+
+    def test_unknown_estimator_class_raises(self, tmp_path, linear_data):
+        X, y = linear_data
+        path = save_artifact(make_learner("lr").fit(X, y), tmp_path / "a")
+        manifest = read_manifest(path)
+        manifest["root"]["value"]["class"] = "exotic.learners.QuantumForest"
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ArtifactError, match="QuantumForest"):
+            load_artifact(path)
+
+    def test_missing_payload_raises(self, tmp_path, linear_data):
+        X, y = linear_data
+        path = save_artifact(make_learner("lr").fit(X, y), tmp_path / "a")
+        (path / PAYLOAD_NAME).unlink()
+        with pytest.raises(ArtifactError, match="payload"):
+            load_artifact(path)
+
+    def test_tampered_payload_raises(self, tmp_path, linear_data):
+        X, y = linear_data
+        path = save_artifact(make_learner("lr").fit(X, y), tmp_path / "a")
+        payload = bytearray((path / PAYLOAD_NAME).read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        (path / PAYLOAD_NAME).write_bytes(bytes(payload))
+        with pytest.raises(ArtifactError, match="checksum|read"):
+            load_artifact(path)
+
+    def test_closure_only_deployed_model_rejected(self, tmp_path):
+        model = DeployedModel(lambda X: np.zeros(len(X)), name="opaque")
+        with pytest.raises(ArtifactError, match="predictor"):
+            save_artifact(model, tmp_path / "a")
+
+    def test_unserializable_object_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="serialize"):
+            save_artifact(object(), tmp_path / "a")
