@@ -1,0 +1,121 @@
+"""Benchmark-regression gate: compare two pytest-benchmark JSON files.
+
+Used by the ``benchmarks-smoke`` CI job: the previous main run's
+``benchmark-results.json`` artifact is downloaded next to the fresh one and
+this script fails (exit code 1) when any selected benchmark's median runtime
+regressed by more than the allowed slowdown.  Rules:
+
+* a missing baseline file passes trivially (the first run has no history);
+* benchmarks are matched by ``fullname``; benchmarks present in only one
+  file are reported but never fail the gate (new/removed benchmarks are
+  legitimate);
+* ``--select`` substrings restrict the comparison (e.g. ``--select density
+  --select serving``); with no selector every common benchmark is compared.
+
+Usage::
+
+    python benchmarks/compare_benchmarks.py previous.json current.json \\
+        --max-slowdown 0.30 --select density --select serving
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def _median_by_name(payload: dict, patterns: Sequence[str]) -> Dict[str, float]:
+    """Map benchmark fullname -> median seconds, filtered by ``patterns``."""
+    medians: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name", "")
+        if patterns and not any(pattern in name for pattern in patterns):
+            continue
+        median = bench.get("stats", {}).get("median")
+        if isinstance(median, (int, float)) and median > 0:
+            medians[name] = float(median)
+    return medians
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    *,
+    max_slowdown: float,
+    patterns: Sequence[str] = (),
+) -> Tuple[List[Tuple[str, float]], List[Tuple[str, float]]]:
+    """Return ``(compared, failures)`` as ``(fullname, slowdown)`` pairs.
+
+    ``slowdown`` is the relative median increase (``0.25`` = 25% slower,
+    negative = faster).  ``failures`` holds the compared benchmarks whose
+    slowdown exceeds ``max_slowdown``.
+    """
+    base = _median_by_name(baseline, patterns)
+    cur = _median_by_name(current, patterns)
+    compared: List[Tuple[str, float]] = []
+    failures: List[Tuple[str, float]] = []
+    for name in sorted(cur):
+        if name not in base:
+            continue
+        slowdown = cur[name] / base[name] - 1.0
+        compared.append((name, slowdown))
+        if slowdown > max_slowdown:
+            failures.append((name, slowdown))
+    return compared, failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="previous benchmark-results.json")
+    parser.add_argument("current", type=Path, help="fresh benchmark-results.json")
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=0.30,
+        help="maximum tolerated relative median slowdown (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="only compare benchmarks whose fullname contains this (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.is_file():
+        print(f"No baseline at {args.baseline}; first run passes trivially.")
+        return 0
+    if not args.current.is_file():
+        print(f"ERROR: current benchmark results missing at {args.current}")
+        return 1
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+
+    compared, failures = compare(
+        baseline, current, max_slowdown=args.max_slowdown, patterns=args.select
+    )
+    if not compared:
+        print("No common benchmarks matched the selection; passing trivially.")
+        return 0
+    for name, slowdown in compared:
+        marker = "FAIL" if slowdown > args.max_slowdown else "ok"
+        print(f"  [{marker}] {name}: median {slowdown:+.1%}")
+    if failures:
+        print(
+            f"{len(failures)} benchmark(s) regressed beyond the "
+            f"{args.max_slowdown:.0%} gate."
+        )
+        return 1
+    print(f"All {len(compared)} compared benchmark(s) within the {args.max_slowdown:.0%} gate.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

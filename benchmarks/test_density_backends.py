@@ -1,0 +1,103 @@
+"""Benchmark: batch density backends vs the frozen seed per-row tree path.
+
+Acceptance criterion for the density engine: on a 10k-row compact-kernel
+workload, the batch ``kd_tree`` and ``grid`` ``score_samples`` paths must be
+at least **5x** faster than the seed implementation (one recursive Python
+tree query per row, preserved verbatim in :mod:`repro.density.reference`)
+while returning **bit-identical** log-densities.
+
+The measured speedups land in the benchmark JSON via ``extra_info`` so CI
+runs can track them; the benchmarks themselves feed the CI
+benchmark-regression gate (see ``benchmarks/compare_benchmarks.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.density import KernelDensity
+from repro.density.reference import ReferenceKernelDensity
+
+N_ROWS = 10_000
+BANDWIDTH = 0.2
+KERNEL = "epanechnikov"
+MIN_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def workload() -> np.ndarray:
+    """10k 2-D rows: a broad population plus a dense cluster (uneven load)."""
+    rng = np.random.default_rng(1234)
+    X = np.vstack(
+        [
+            rng.normal(0.0, 1.0, size=(7000, 2)),
+            rng.normal((3.5, -2.0), 0.6, size=(3000, 2)),
+        ]
+    )
+    assert X.shape == (N_ROWS, 2)
+    return X
+
+
+@pytest.fixture(scope="module")
+def seed_path(workload):
+    """Log-densities and wall time of the frozen seed per-row tree path."""
+    reference = ReferenceKernelDensity(
+        kernel=KERNEL, bandwidth=BANDWIDTH, algorithm="kd_tree"
+    ).fit(workload)
+    start = time.perf_counter()
+    scores = reference.score_samples(workload)
+    seconds = time.perf_counter() - start
+    return scores, seconds
+
+
+def _assert_speedup(benchmark, seed_seconds: float, label: str) -> None:
+    batch_seconds = benchmark.stats.stats.median
+    speedup = seed_seconds / batch_seconds
+    benchmark.extra_info["seed_seconds"] = round(seed_seconds, 4)
+    benchmark.extra_info["speedup_vs_seed"] = round(speedup, 1)
+    benchmark.extra_info["n_rows"] = N_ROWS
+    print(f"\n{label}: {speedup:.1f}x faster than the seed per-row path")
+    assert speedup >= MIN_SPEEDUP, (
+        f"{label} is only {speedup:.1f}x faster than the seed path "
+        f"(required: >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_density_kd_tree_batch_speedup_10k(benchmark, workload, seed_path):
+    seed_scores, seed_seconds = seed_path
+    kde = KernelDensity(kernel=KERNEL, bandwidth=BANDWIDTH, algorithm="kd_tree").fit(workload)
+
+    scores = benchmark(kde.score_samples, workload)
+
+    np.testing.assert_array_equal(scores, seed_scores)  # bit-identical
+    _assert_speedup(benchmark, seed_seconds, "batch kd_tree")
+
+
+def test_density_grid_batch_speedup_10k(benchmark, workload, seed_path):
+    seed_scores, seed_seconds = seed_path
+    kde = KernelDensity(kernel=KERNEL, bandwidth=BANDWIDTH, algorithm="grid").fit(workload)
+    assert kde.algorithm_ == "grid"
+
+    scores = benchmark(kde.score_samples, workload)
+
+    np.testing.assert_array_equal(scores, seed_scores)  # bit-identical
+    _assert_speedup(benchmark, seed_seconds, "batch grid")
+
+
+def test_density_filter_end_to_end_10k(benchmark, workload):
+    """Algorithm 3 over the 10k workload through the batch engine."""
+    from repro.core.density_filter import density_filter_indices
+    from repro.density import clear_backend_cache
+
+    def run():
+        clear_backend_cache()  # measure cold builds: tree + scoring per call
+        return density_filter_indices(
+            workload, density_fraction=0.2, kernel=KERNEL, bandwidth=BANDWIDTH
+        )
+
+    kept = benchmark(run)
+    assert kept.size == 2000
+    benchmark.extra_info["n_rows"] = N_ROWS

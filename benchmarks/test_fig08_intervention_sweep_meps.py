@@ -7,7 +7,6 @@ metric, and the largest-degree gap is no larger than the no-intervention gap.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments import run_figure08
 

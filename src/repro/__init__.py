@@ -54,6 +54,16 @@ learner pair — and any mismatch (schema version, unknown learner class,
 corrupted payload) raises :class:`~repro.exceptions.ArtifactError`.  The
 ``repro-serve`` console script (``python -m repro.serve``) wires the path end
 to end: ``fit`` → ``save`` → ``serve``/``score``.
+
+Algorithm 3's density estimation runs on a batch-first engine
+(:mod:`repro.density`): ``KernelDensity(algorithm=...)`` dispatches
+``score_samples`` onto a brute-force, flat batch KD-tree, or grid-hash
+backend (``"auto"`` picks per kernel/shape), each backend returns
+log-densities bit-identical to its seed-implementation counterpart
+(enforced against the frozen copy in :mod:`repro.density.reference`), and
+fitted structures are cached across fits of the same partition.  See the
+:mod:`repro.density` docstring for the selection rules and the exact
+equivalence guarantees.
 """
 
 from repro.baselines import (
@@ -100,7 +110,7 @@ from repro.learners import (
 )
 from repro.profiling import ConstraintSet, discover_constraints
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # The serving subsystem consumes everything above (interventions, learners,
 # datasets), so its import must come last.

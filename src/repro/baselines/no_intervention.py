@@ -7,7 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.datasets.table import Dataset
-from repro.learners.base import BaseClassifier, BaseEstimator, clone
+from repro.learners.base import BaseEstimator, clone
 from repro.learners.registry import make_learner
 
 

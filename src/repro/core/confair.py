@@ -17,13 +17,13 @@ The resulting per-tuple weights are consumed by any learner that accepts
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.partitions import PartitionProfile, profile_partitions
-from repro.core.tuning import InterventionTuningResult, tune_intervention_degree
+from repro.core.partitions import profile_partitions
+from repro.core.tuning import tune_intervention_degree
 from repro.datasets.table import Dataset
 from repro.exceptions import ValidationError
 from repro.learners.base import BaseClassifier, BaseEstimator

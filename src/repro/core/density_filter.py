@@ -6,17 +6,61 @@ within its (group, label) partition and keeps only the densest ``k`` tuples
 per partition; constraints derived from the filtered partitions are much
 tighter, which Section IV-C of the paper shows is essential for both
 DiffFair and ConFair.
+
+Density estimation runs through the batch engine in :mod:`repro.density`:
+``score_samples`` evaluates each partition in one vectorized pass and the
+backend cache means repeated fits over the same partition (degree sweeps,
+profile rebuilds) reuse the already-built spatial index.
+
+This module also owns the canonical **partition iterators**
+(:func:`iter_group_label_partitions`, :func:`iter_group_partitions`): every
+place that walks the four (group, label) partitions — this module,
+:func:`repro.core.profile_partitions`, the streaming fairness counters —
+shares one implementation instead of re-rolling the double loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 
 from repro.datasets.table import Dataset
 from repro.density.kde import KernelDensity
 from repro.exceptions import ValidationError
+
+PartitionKey = Tuple[int, int]
+"""(group, label) pair: group 0 = majority W, 1 = minority U."""
+
+
+def iter_group_partitions(group) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(group_value, row_indices)`` for each non-empty binary group."""
+    group = np.asarray(group).ravel()
+    for group_value in (0, 1):
+        rows = np.flatnonzero(group == group_value)
+        if rows.size:
+            yield group_value, rows
+
+
+def iter_group_label_partitions(
+    group,
+    y,
+    *,
+    include_empty: bool = False,
+) -> Iterator[Tuple[PartitionKey, np.ndarray]]:
+    """Yield ``((group, label), row_indices)`` over the four partitions.
+
+    Empty partitions are skipped unless ``include_empty`` is set (callers
+    that record per-partition sizes want the empty keys too).
+    """
+    group = np.asarray(group).ravel()
+    y = np.asarray(y).ravel()
+    for group_value in (0, 1):
+        group_mask = group == group_value
+        for label in (0, 1):
+            rows = np.flatnonzero(group_mask & (y == label))
+            if include_empty or rows.size:
+                yield (group_value, label), rows
 
 
 def _resolve_keep_count(partition_size: int, density_fraction: float, min_keep: int) -> int:
@@ -33,6 +77,7 @@ def density_filter_indices(
     min_keep: int = 10,
     kernel: str = "gaussian",
     bandwidth="scott",
+    algorithm: str = "auto",
 ) -> np.ndarray:
     """Return the indices of the densest rows of ``X`` (Algorithm 3, one partition).
 
@@ -45,8 +90,12 @@ def density_filter_indices(
     min_keep:
         Keep at least this many rows (bounded by the partition size), so tiny
         partitions still yield enough tuples to derive constraints from.
-    kernel, bandwidth:
-        Passed to :class:`repro.density.KernelDensity`.
+    kernel, bandwidth, algorithm:
+        Passed to :class:`repro.density.KernelDensity`; ``algorithm``
+        selects the density backend.  ``kd_tree`` and ``grid`` rank
+        bit-identically; ``brute`` computes distances through a different
+        (equally exact) expansion, so its ranks can differ only between
+        rows whose densities are tied to within an ulp.
     """
     if not 0.0 < density_fraction <= 1.0:
         raise ValidationError("density_fraction must be in (0, 1]")
@@ -58,7 +107,7 @@ def density_filter_indices(
     if keep >= n_rows:
         return np.arange(n_rows)
 
-    estimator = KernelDensity(bandwidth=bandwidth, kernel=kernel).fit(X)
+    estimator = KernelDensity(bandwidth=bandwidth, kernel=kernel, algorithm=algorithm).fit(X)
     log_density = estimator.score_samples(X)
     order = np.argsort(-log_density, kind="mergesort")
     return np.sort(order[:keep])
@@ -71,6 +120,7 @@ def density_filter(
     min_keep: int = 10,
     kernel: str = "gaussian",
     bandwidth="scott",
+    algorithm: str = "auto",
 ) -> Dataset:
     """Apply Algorithm 3 to a dataset: keep the densest tuples of each partition.
 
@@ -79,20 +129,16 @@ def density_filter(
     never modified).
     """
     keep_indices = []
-    for group_value in (0, 1):
-        for label in (0, 1):
-            mask = (dataset.group == group_value) & (dataset.y == label)
-            partition_rows = np.flatnonzero(mask)
-            if partition_rows.size == 0:
-                continue
-            local = density_filter_indices(
-                dataset.numeric_X[partition_rows],
-                density_fraction=density_fraction,
-                min_keep=min_keep,
-                kernel=kernel,
-                bandwidth=bandwidth,
-            )
-            keep_indices.append(partition_rows[local])
+    for _, partition_rows in iter_group_label_partitions(dataset.group, dataset.y):
+        local = density_filter_indices(
+            dataset.numeric_X[partition_rows],
+            density_fraction=density_fraction,
+            min_keep=min_keep,
+            kernel=kernel,
+            bandwidth=bandwidth,
+            algorithm=algorithm,
+        )
+        keep_indices.append(partition_rows[local])
     if not keep_indices:
         raise ValidationError("Dataset has no non-empty (group, label) partitions")
     all_indices = np.sort(np.concatenate(keep_indices))
@@ -104,24 +150,20 @@ def partition_density_ranks(
     *,
     kernel: str = "gaussian",
     bandwidth="scott",
-) -> Dict[Tuple[int, int], np.ndarray]:
+    algorithm: str = "auto",
+) -> Dict[PartitionKey, np.ndarray]:
     """Per-partition density ranks (0 = densest) keyed by ``(group, label)``.
 
     Exposed for diagnostics and the ablation benchmarks; not needed by the
     main algorithms.
     """
-    ranks: Dict[Tuple[int, int], np.ndarray] = {}
-    for group_value in (0, 1):
-        for label in (0, 1):
-            mask = (dataset.group == group_value) & (dataset.y == label)
-            rows = np.flatnonzero(mask)
-            if rows.size == 0:
-                continue
-            if rows.size == 1:
-                ranks[(group_value, label)] = np.array([0])
-                continue
-            estimator = KernelDensity(bandwidth=bandwidth, kernel=kernel).fit(
-                dataset.numeric_X[rows]
-            )
-            ranks[(group_value, label)] = estimator.density_rank(dataset.numeric_X[rows])
+    ranks: Dict[PartitionKey, np.ndarray] = {}
+    for key, rows in iter_group_label_partitions(dataset.group, dataset.y):
+        if rows.size == 1:
+            ranks[key] = np.array([0])
+            continue
+        estimator = KernelDensity(
+            bandwidth=bandwidth, kernel=kernel, algorithm=algorithm
+        ).fit(dataset.numeric_X[rows])
+        ranks[key] = estimator.density_rank(dataset.numeric_X[rows])
     return ranks

@@ -15,7 +15,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.partitions import PartitionProfile, profile_partitions
+from repro.core.partitions import profile_partitions
 from repro.datasets.table import Dataset
 from repro.exceptions import ValidationError
 from repro.learners.base import BaseClassifier, BaseEstimator, clone

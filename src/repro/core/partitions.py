@@ -10,18 +10,21 @@ densest tuples so the derived constraints are tight.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.density_filter import density_filter_indices
+from repro.core.density_filter import (
+    PartitionKey,
+    density_filter_indices,
+    iter_group_label_partitions,
+)
 from repro.datasets.table import Dataset
 from repro.exceptions import ConstraintError
 from repro.profiling.constraints import ConstraintSet
 from repro.profiling.discovery import DiscoveryConfig, discover_constraints
 
-PartitionKey = Tuple[int, int]
-"""(group, label) pair: group 0 = majority W, 1 = minority U."""
+__all__ = ["PartitionKey", "PartitionProfile", "profile_partitions"]
 
 
 @dataclass
@@ -95,29 +98,26 @@ def profile_partitions(
         callers treat missing partitions as "no information".
     """
     profile = PartitionProfile()
-    for group_value in (0, 1):
-        for label in (0, 1):
-            key: PartitionKey = (group_value, label)
-            mask = (dataset.group == group_value) & (dataset.y == label)
-            rows = np.flatnonzero(mask)
-            profile.partition_sizes[key] = int(rows.size)
-            if rows.size < min_partition_size:
-                continue
-            X_partition = dataset.numeric_X[rows]
-            if use_density_filter and rows.size > 4:
-                kept = density_filter_indices(
-                    X_partition, density_fraction=density_fraction
-                )
-                X_profiled = X_partition[kept]
-            else:
-                X_profiled = X_partition
-            profile.profiled_sizes[key] = int(X_profiled.shape[0])
-            group_name = "U" if group_value == 1 else "W"
-            profile.constraint_sets[key] = discover_constraints(
-                X_profiled,
-                config=discovery_config,
-                label=f"{dataset.name}:{group_name}:y={label}",
+    for key, rows in iter_group_label_partitions(dataset.group, dataset.y, include_empty=True):
+        group_value, label = key
+        profile.partition_sizes[key] = int(rows.size)
+        if rows.size < min_partition_size:
+            continue
+        X_partition = dataset.numeric_X[rows]
+        if use_density_filter and rows.size > 4:
+            kept = density_filter_indices(
+                X_partition, density_fraction=density_fraction
             )
+            X_profiled = X_partition[kept]
+        else:
+            X_profiled = X_partition
+        profile.profiled_sizes[key] = int(X_profiled.shape[0])
+        group_name = "U" if group_value == 1 else "W"
+        profile.constraint_sets[key] = discover_constraints(
+            X_profiled,
+            config=discovery_config,
+            label=f"{dataset.name}:{group_name}:y={label}",
+        )
     if not profile.constraint_sets:
         raise ConstraintError(
             "No (group, label) partition was large enough to derive constraints"

@@ -11,7 +11,7 @@ steps and produces a :class:`repro.datasets.table.Dataset`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

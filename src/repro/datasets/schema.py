@@ -8,7 +8,7 @@ the paper is reproduced directly from these specs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.exceptions import DatasetError

@@ -1,0 +1,189 @@
+"""Grid-hash spatial index for batch fixed-radius neighbour search.
+
+For compact kernels the KDE radius is *known at fit time* (it is the
+bandwidth), which admits a structure simpler and flatter than a tree: bin the
+training points into axis-aligned cells of side ``cell_size``.  Every point
+within ``radius <= cell_size`` of a query then lies in one of the ``3**d``
+cells surrounding the query's cell, so a batch radius query is a gather over
+at most ``3**d`` hash lookups — vectorized across all query rows, with the
+only Python loop running over the fixed cell-offset stencil.
+
+Cells are keyed by flattening integer cell coordinates with row-major
+strides into a single int64.  The coordinate box is padded by one cell on
+every side so neighbour offsets of in-range queries always encode validly;
+construction fails (``ValidationError``) when the padded box cannot be
+encoded in an int64 — :func:`GridIndex.is_suitable` lets callers (the
+``auto`` backend policy) check cheaply beforehand.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Tuple
+
+import numpy as np
+
+from repro.density._flatops import (
+    _EMPTY_FLOAT,
+    _EMPTY_INDEX,
+    as_query_matrix,
+    pairs_to_csr,
+    segment_arange,
+    split_csr,
+)
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array
+
+_KEY_SPACE_LIMIT = 2**62
+"""Padded cell-coordinate boxes must flatten into fewer keys than this."""
+
+
+def _cell_bounds(points: np.ndarray, cell_size: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Float (origin, extent) of the padded cell-coordinate box.
+
+    Kept in float space so pathological inputs (coordinates beyond int64)
+    can be *detected* rather than silently overflowing in a cast.
+    """
+    coords = np.floor(points / cell_size)
+    origin = coords.min(axis=0) - 1.0  # one-cell pad below
+    extent = coords.max(axis=0) - origin + 2.0  # and above
+    return origin, extent
+
+
+def _bounds_fit_int64(origin: np.ndarray, extent: np.ndarray) -> bool:
+    """Whether the padded box hashes into the int64 key space."""
+    if not (np.all(np.isfinite(origin)) and np.all(np.isfinite(extent))):
+        return False
+    if np.any(np.abs(origin) >= float(_KEY_SPACE_LIMIT)):
+        return False
+    total = 1
+    for e in extent.tolist():  # Python ints: no silent overflow
+        total *= int(e)
+        if total >= _KEY_SPACE_LIMIT:
+            return False
+    return True
+
+
+class GridIndex:
+    """Fixed-radius spatial hash over a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n_points, n_dims)`` matrix.
+    cell_size:
+        Side length of the hash cells; queries support radii up to this.
+    """
+
+    def __init__(self, points, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValidationError("cell_size must be positive")
+        self._points = check_array(points, name="points")
+        self.cell_size = float(cell_size)
+        self.n_points, self.n_dims = self._points.shape
+
+        origin, extent = _cell_bounds(self._points, self.cell_size)
+        if not _bounds_fit_int64(origin, extent):
+            raise ValidationError(
+                "grid index unsuitable for this data: the padded cell-coordinate box "
+                f"(extents {extent.tolist()}) cannot be flattened into int64 keys; "
+                "use the kd_tree backend instead"
+            )
+        self._origin = origin.astype(np.int64)
+        self._extent = extent.astype(np.int64)
+        strides = np.empty(self.n_dims, dtype=np.int64)
+        acc = 1
+        for dim in range(self.n_dims - 1, -1, -1):
+            strides[dim] = acc
+            acc *= int(self._extent[dim])
+        self._strides = strides
+
+        shifted = np.floor(self._points / self.cell_size).astype(np.int64) - self._origin
+        keys = shifted @ strides
+        order = np.argsort(keys, kind="stable")  # stable: in-cell order stays index-ascending
+        self._point_order = order
+        self._cell_keys, first = np.unique(keys[order], return_index=True)
+        self._cell_starts = np.concatenate([first, [self.n_points]]).astype(np.int64)
+
+    @staticmethod
+    def is_suitable(points: np.ndarray, cell_size: float) -> bool:
+        """Whether the padded cell box of ``points`` fits the int64 key space."""
+        if cell_size <= 0:
+            return False
+        origin, extent = _cell_bounds(np.asarray(points, dtype=np.float64), cell_size)
+        return _bounds_fit_int64(origin, extent)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed points (read-only view)."""
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_cells(self) -> int:
+        """Number of occupied cells."""
+        return int(self._cell_keys.size)
+
+    # -------------------------------------------------------------- queries
+    def query_radius_batch(self, X, radius: float):
+        """Indices of points within ``radius`` of each row of ``X`` (a list)."""
+        points, _, indptr = self.query_radius_csr(X, radius)
+        return split_csr(points, indptr)
+
+    def query_radius_csr(self, X, radius: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR neighbours of each query row: ``(points, distances, indptr)``.
+
+        Row ``i``'s neighbours are ``points[indptr[i]:indptr[i+1]]`` in
+        ascending index order, with matching Euclidean ``distances``.
+        """
+        if radius < 0:
+            raise ValidationError("radius must be non-negative")
+        if radius > self.cell_size:
+            raise ValidationError(
+                f"GridIndex supports radii up to its cell size ({self.cell_size}); "
+                f"got radius={radius}"
+            )
+        queries = self._as_queries(X)
+        n_queries = queries.shape[0]
+        # Clip far-out cell coordinates (in float space, before the int cast,
+        # so extreme queries cannot overflow int64).  Clipped values land on
+        # the unoccupied pad ring, so they can never produce false matches.
+        shifted = np.floor(queries / self.cell_size) - self._origin
+        shifted = np.clip(shifted, -1.0, self._extent.astype(np.float64))
+        cells = shifted.astype(np.int64)
+
+        row_parts, point_parts = [], []
+        for offset in itertools.product((-1, 0, 1), repeat=self.n_dims):
+            neighbour = cells + np.asarray(offset, dtype=np.int64)
+            inside = np.all((neighbour >= 0) & (neighbour < self._extent), axis=1)
+            if not inside.any():
+                continue
+            query_ids = np.flatnonzero(inside)
+            keys = neighbour[query_ids] @ self._strides
+            pos = np.searchsorted(self._cell_keys, keys)
+            clipped = np.minimum(pos, self._cell_keys.size - 1)
+            hit = (pos < self._cell_keys.size) & (self._cell_keys[clipped] == keys)
+            if not hit.any():
+                continue
+            query_ids = query_ids[hit]
+            pos = pos[hit]
+            starts = self._cell_starts[pos]
+            counts = self._cell_starts[pos + 1] - starts
+            rows = np.repeat(query_ids, counts)
+            positions = np.repeat(starts, counts) + segment_arange(counts)
+            row_parts.append(rows)
+            point_parts.append(self._point_order[positions])
+
+        if not row_parts:
+            return pairs_to_csr(_EMPTY_INDEX, _EMPTY_INDEX, _EMPTY_FLOAT, n_queries)
+        rows = np.concatenate(row_parts)
+        points = np.concatenate(point_parts)
+        diffs = self._points[points] - queries[rows]
+        distances = np.linalg.norm(diffs, axis=1)
+        within = distances <= radius
+        return pairs_to_csr(rows[within], points[within], distances[within], n_queries)
+
+    # -------------------------------------------------------------- helpers
+    def _as_queries(self, X) -> np.ndarray:
+        return as_query_matrix(X, self.n_dims, "grid")

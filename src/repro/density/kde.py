@@ -1,22 +1,41 @@
-"""Kernel density estimation with brute-force and KD-tree backends.
+"""Kernel density estimation over pluggable batch backends.
 
 This mirrors the scikit-learn ``KernelDensity`` API used by Algorithm 3 of
 the paper: ``fit(X)`` then ``score_samples(X)`` returning log-densities.
 Only the *relative ranking* of densities matters to the density-filtering
 optimization, but the estimator is a proper normalized KDE so it is usable as
 a general substrate (and testable against analytic ground truth).
+
+``score_samples`` is batch-first: the whole query matrix is evaluated by one
+of the :class:`~repro.density.backends.DensityBackend` implementations
+(``brute``, ``kd_tree``, ``grid``) with no Python loop over rows.  Backend
+selection is explicit via ``algorithm=`` (see :meth:`KernelDensity.fit`),
+and fitted structures are memoized across fits of the same partition by the
+backend cache in :mod:`repro.density.backends`.
+
+The frozen-equivalence guarantee (see :mod:`repro.density.reference`): each
+backend is bit-identical to the seed implementation's corresponding
+evaluation path — ``kd_tree`` and ``grid`` reproduce the seed's per-row tree
+scoring exactly (and are bit-identical to *each other*; they share the same
+arithmetic), and ``brute`` is the seed blockwise code unchanged.  ``brute``
+and the tree/grid pair use different (equally exact) distance expansions, so
+across that divide log-densities agree to ulp precision rather than bit for
+bit.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
+from repro.density.backends import (
+    ALGORITHM_NAMES,
+    BACKEND_NAMES,
+    get_backend,
+    resolve_algorithm,
+)
+from repro.density.kernels import COMPACT_KERNELS, kernel_by_name, log_normalization
 from repro.exceptions import ValidationError
 from repro.learners.base import BaseEstimator
-from repro.density.kdtree import KDTree
-from repro.density.kernels import kernel_by_name, log_normalization
 from repro.utils.validation import check_array
 
 
@@ -41,7 +60,7 @@ def silverman_bandwidth(X: np.ndarray) -> float:
 
 
 class KernelDensity(BaseEstimator):
-    """Kernel density estimator.
+    """Kernel density estimator with pluggable batch backends.
 
     Parameters
     ----------
@@ -51,13 +70,37 @@ class KernelDensity(BaseEstimator):
     kernel:
         ``"gaussian"``, ``"tophat"``, or ``"epanechnikov"``.
     algorithm:
-        ``"auto"`` (KD-tree for compact kernels on reasonably sized data,
-        brute force otherwise), ``"brute"``, or ``"kd_tree"``.
+        Which :class:`~repro.density.backends.DensityBackend` evaluates
+        ``score_samples``:
+
+        * ``"brute"`` — blockwise pairwise distances (every kernel);
+        * ``"kd_tree"`` — batch KD-tree radius search (compact kernels;
+          silently scores brute for the Gaussian kernel, whose support is
+          unbounded);
+        * ``"grid"`` — bandwidth-sized spatial hash, a ``3**d``-cell gather
+          per query (compact kernels on hashable data only — otherwise
+          ``fit`` raises :class:`~repro.exceptions.ValidationError`);
+        * ``"auto"`` (default) — for compact kernels on at least
+          ``4 * leaf_size`` rows: the grid when the data has at most 3
+          dimensions and hashes cleanly, the KD-tree otherwise; brute for
+          everything else (including the Gaussian kernel always).
+
+        ``kd_tree`` and ``grid`` return bit-identical log-densities (to each
+        other and to the seed tree path); ``brute`` agrees with them to ulp
+        precision, so ranks can differ only between genuinely tied
+        densities.  The resolved name is stored as ``algorithm_`` after
+        :meth:`fit`.
     leaf_size:
         Leaf size of the KD-tree backend.
     """
 
-    _COMPACT_KERNELS = ("tophat", "epanechnikov")
+    _COMPACT_KERNELS = COMPACT_KERNELS  # kept for backward compatibility
+
+    # Fitted attributes that fully determine predictions; the backend
+    # structure itself is derived state — it is rebuilt lazily from
+    # ``algorithm_`` + the training sample (via the backend cache) after a
+    # load, which keeps artifacts small and the round trip bit-identical.
+    _state_attributes = ("bandwidth_", "training_data_", "n_features_", "algorithm_")
 
     def __init__(
         self,
@@ -76,8 +119,10 @@ class KernelDensity(BaseEstimator):
         """Store the training sample and resolve the bandwidth/backend."""
         X = check_array(X, name="X")
         kernel_by_name(self.kernel)  # validate the kernel name early
-        if self.algorithm not in ("auto", "brute", "kd_tree"):
-            raise ValidationError("algorithm must be 'auto', 'brute', or 'kd_tree'")
+        if self.algorithm not in ALGORITHM_NAMES:
+            raise ValidationError(
+                "algorithm must be 'auto', 'brute', 'kd_tree', or 'grid'"
+            )
 
         if isinstance(self.bandwidth, str):
             rule = self.bandwidth.strip().lower()
@@ -97,53 +142,63 @@ class KernelDensity(BaseEstimator):
         self.bandwidth_ = resolved
         self.training_data_ = X.copy()
         self.n_features_ = X.shape[1]
-
-        use_tree = self.algorithm == "kd_tree" or (
-            self.algorithm == "auto"
-            and self.kernel in self._COMPACT_KERNELS
-            and X.shape[0] >= 4 * self.leaf_size
+        self.algorithm_ = resolve_algorithm(
+            self.algorithm,
+            self.kernel,
+            self.training_data_,
+            leaf_size=self.leaf_size,
+            bandwidth=resolved,
         )
-        self._tree = KDTree(X, leaf_size=self.leaf_size) if use_tree else None
+        self._backend = get_backend(
+            self.algorithm_,
+            self.training_data_,
+            leaf_size=self.leaf_size,
+            bandwidth=resolved,
+        )
+        return self
+
+    def _get_backend(self):
+        """The fitted backend, rebuilt (cache-assisted) after deserialization."""
+        backend = getattr(self, "_backend", None)
+        if backend is None:
+            backend = get_backend(
+                self.algorithm_,
+                self.training_data_,
+                leaf_size=self.leaf_size,
+                bandwidth=self.bandwidth_,
+            )
+            self._backend = backend
+        return backend
+
+    def load_state_dict(self, state):
+        """Restore fitted state, validating the named backend exists."""
+        algorithm = state.get("algorithm_")
+        if algorithm is not None and algorithm not in BACKEND_NAMES:
+            raise ValidationError(
+                f"KernelDensity state names unknown density backend {algorithm!r}; "
+                f"this build provides {BACKEND_NAMES}"
+            )
+        super().load_state_dict(state)
+        self._backend = None  # rebuilt lazily via the backend cache
         return self
 
     # ------------------------------------------------------------------ score
     def score_samples(self, X) -> np.ndarray:
-        """Return the log-density of each row of ``X`` under the fitted KDE."""
+        """Return the log-density of each row of ``X`` under the fitted KDE.
+
+        The whole batch is evaluated by the fitted backend in one vectorized
+        pass; rows with zero density (outside every kernel's support) score
+        ``-inf``.
+        """
         self._check_fitted("training_data_")
         X = check_array(X, name="X")
         if X.shape[1] != self.n_features_:
             raise ValidationError(
                 f"X has {X.shape[1]} features, estimator was fitted with {self.n_features_}"
             )
-        kernel_fn = kernel_by_name(self.kernel)
         log_norm = log_normalization(self.kernel, self.bandwidth_, self.n_features_)
         n_train = self.training_data_.shape[0]
-
-        densities = np.empty(X.shape[0], dtype=np.float64)
-        if self._tree is not None and self.kernel in self._COMPACT_KERNELS:
-            # Compact support: only points within one bandwidth contribute.
-            for i, row in enumerate(X):
-                neighbour_idx = self._tree.query_radius(row, self.bandwidth_)
-                if neighbour_idx.size == 0:
-                    densities[i] = 0.0
-                    continue
-                diffs = self.training_data_[neighbour_idx] - row
-                scaled = np.linalg.norm(diffs, axis=1) / self.bandwidth_
-                densities[i] = float(kernel_fn(scaled).sum())
-        else:
-            # Brute force in manageable blocks to bound memory; pairwise
-            # distances via the expansion ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b
-            # so no (block, n_train, n_features) intermediate is materialized.
-            train_sq = np.einsum("ij,ij->i", self.training_data_, self.training_data_)
-            block = max(1, int(4e6 // max(n_train, 1)))
-            for start in range(0, X.shape[0], block):
-                chunk = X[start : start + block]
-                chunk_sq = np.einsum("ij,ij->i", chunk, chunk)
-                squared = chunk_sq[:, None] + train_sq[None, :] - 2.0 * (chunk @ self.training_data_.T)
-                np.maximum(squared, 0.0, out=squared)
-                scaled = np.sqrt(squared) / self.bandwidth_
-                densities[start : start + block] = kernel_fn(scaled).sum(axis=1)
-
+        densities = self._get_backend().kernel_sums(X, self.kernel, self.bandwidth_)
         with np.errstate(divide="ignore"):
             log_density = np.log(densities) - np.log(n_train) + log_norm
         return log_density

@@ -1,37 +1,49 @@
-"""A k-d tree with nearest-neighbour and radius queries.
+"""A k-d tree with batch (vectorized) nearest-neighbour and radius queries.
 
 Used by :class:`repro.density.kde.KernelDensity` to restrict kernel sums to
-points within a few bandwidths of the query (relevant for compact kernels),
-and exposed on its own as a spatial-index substrate.  The implementation is a
-classic median-split k-d tree over a numpy array; queries are exact.
+points within one bandwidth of the query (relevant for compact kernels), and
+exposed on its own as a spatial-index substrate.  Queries are exact.
+
+The tree is stored as **flat arrays** — per-node bounding boxes, split
+axis/value, child ids, and a contiguous permutation of the point indices —
+rather than linked node objects.  Construction is iterative (an explicit
+stack), and the primary query surface is batch-first:
+
+* :meth:`KDTree.query_radius_batch` / :meth:`KDTree.query_radius_csr` — all
+  query rows traverse the tree together as a vectorized frontier of
+  (query, node) pairs; the Python-level loop runs over tree *levels*, never
+  over rows.
+* :meth:`KDTree.query_batch` — batch k-nearest-neighbour search: every query
+  first descends to its home leaf to seed a distance bound, then the same
+  frontier traversal prunes against the per-query k-th best distance.
+
+The single-point :meth:`KDTree.query` and :meth:`KDTree.query_radius`
+methods are thin wrappers over the batch API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+from repro.density._flatops import (
+    _EMPTY_FLOAT,
+    _EMPTY_INDEX,
+    as_query_matrix,
+    pairs_to_csr,
+    segment_arange,
+    split_csr,
+)
 from repro.exceptions import ValidationError
 from repro.utils.validation import check_array
 
-
-@dataclass
-class _KDNode:
-    """Internal node: splitting axis/value plus bounding box of its subtree."""
-
-    indices: np.ndarray
-    axis: int = -1
-    split_value: float = 0.0
-    left: Optional["_KDNode"] = None
-    right: Optional["_KDNode"] = None
-    lower_bound: Optional[np.ndarray] = None
-    upper_bound: Optional[np.ndarray] = None
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.left is None
+# Relative slack applied to box-pruning bounds.  Pruning uses a vectorized
+# min-distance-to-box that may round differently (by an ulp) than the exact
+# per-point distances computed at the leaves; the slack guarantees no box
+# containing an in-range point is ever pruned, while the exact leaf-level
+# distance filter keeps results exact.
+_PRUNE_SLACK = 1e-9
 
 
 class KDTree:
@@ -51,7 +63,7 @@ class KDTree:
         self._points = check_array(points, name="points")
         self.leaf_size = leaf_size
         self.n_points, self.n_dims = self._points.shape
-        self._root = self._build(np.arange(self.n_points), depth=0)
+        self._build()
 
     @property
     def points(self) -> np.ndarray:
@@ -61,110 +73,274 @@ class KDTree:
         return view
 
     # ---------------------------------------------------------------- build
-    def _build(self, indices: np.ndarray, depth: int) -> _KDNode:
-        subset = self._points[indices]
-        node = _KDNode(
-            indices=indices,
-            lower_bound=subset.min(axis=0),
-            upper_bound=subset.max(axis=0),
-        )
-        if indices.size <= self.leaf_size:
-            return node
+    def _build(self) -> None:
+        points = self._points
+        index = np.arange(self.n_points, dtype=np.int64)
+        starts: List[int] = []
+        ends: List[int] = []
+        axes: List[int] = []
+        splits: List[float] = []
+        lefts: List[int] = []
+        rights: List[int] = []
+        lowers: List[np.ndarray] = []
+        uppers: List[np.ndarray] = []
 
-        spreads = node.upper_bound - node.lower_bound
-        axis = int(np.argmax(spreads))
-        if spreads[axis] <= 0.0:
-            # All remaining points are identical: keep as a leaf.
-            return node
+        def add_node(start: int, end: int) -> int:
+            node_id = len(starts)
+            subset = points[index[start:end]]
+            starts.append(start)
+            ends.append(end)
+            axes.append(-1)
+            splits.append(0.0)
+            lefts.append(-1)
+            rights.append(-1)
+            lowers.append(subset.min(axis=0))
+            uppers.append(subset.max(axis=0))
+            return node_id
 
-        values = subset[:, axis]
-        median = float(np.median(values))
-        left_mask = values <= median
-        # Guard against degenerate splits where the median equals the maximum.
-        if left_mask.all() or not left_mask.any():
-            order = np.argsort(values)
-            half = indices.size // 2
-            left_mask = np.zeros(indices.size, dtype=bool)
-            left_mask[order[:half]] = True
+        stack = [add_node(0, self.n_points)]
+        while stack:
+            node = stack.pop()
+            start, end = starts[node], ends[node]
+            size = end - start
+            if size <= self.leaf_size:
+                continue
+            spreads = uppers[node] - lowers[node]
+            axis = int(np.argmax(spreads))
+            if spreads[axis] <= 0.0:
+                # All remaining points are identical: keep as a leaf.
+                continue
 
-        node.axis = axis
-        node.split_value = median
-        node.left = self._build(indices[left_mask], depth + 1)
-        node.right = self._build(indices[~left_mask], depth + 1)
-        return node
+            segment = index[start:end]
+            values = points[segment, axis]
+            median = float(np.median(values))
+            left_mask = values <= median
+            # Guard against degenerate splits where the median equals the maximum.
+            if left_mask.all() or not left_mask.any():
+                order = np.argsort(values)
+                half = size // 2
+                left_mask = np.zeros(size, dtype=bool)
+                left_mask[order[:half]] = True
 
-    # -------------------------------------------------------------- queries
-    def query_radius(self, point, radius: float) -> np.ndarray:
-        """Return the indices of all points within ``radius`` of ``point``."""
+            n_left = int(left_mask.sum())
+            index[start:end] = np.concatenate([segment[left_mask], segment[~left_mask]])
+            axes[node] = axis
+            splits[node] = median
+            left = add_node(start, start + n_left)
+            right = add_node(start + n_left, end)
+            lefts[node] = left
+            rights[node] = right
+            stack.append(left)
+            stack.append(right)
+
+        self._index = index
+        self._node_start = np.array(starts, dtype=np.int64)
+        self._node_end = np.array(ends, dtype=np.int64)
+        self._node_axis = np.array(axes, dtype=np.int64)
+        self._node_split = np.array(splits, dtype=np.float64)
+        self._node_left = np.array(lefts, dtype=np.int64)
+        self._node_right = np.array(rights, dtype=np.int64)
+        self._node_lower = np.array(lowers, dtype=np.float64)
+        self._node_upper = np.array(uppers, dtype=np.float64)
+        self.n_nodes = len(starts)
+
+    # ------------------------------------------------------- batch queries
+    def query_radius_batch(self, X, radius: float) -> List[np.ndarray]:
+        """Indices of points within ``radius`` of each row of ``X``.
+
+        Returns one ascending int64 index array per query row.  All rows are
+        processed in a single vectorized traversal.
+        """
+        points, _, indptr = self.query_radius_csr(X, radius)
+        return split_csr(points, indptr)
+
+    def query_radius_csr(self, X, radius: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR neighbours of each query row: ``(points, distances, indptr)``.
+
+        Row ``i``'s neighbours are ``points[indptr[i]:indptr[i+1]]`` in
+        ascending index order, with matching Euclidean ``distances``.
+        """
         if radius < 0:
             raise ValidationError("radius must be non-negative")
-        query = self._as_query(point)
-        found: List[int] = []
-        self._radius_search(self._root, query, radius, found)
-        return np.array(sorted(found), dtype=np.int64)
+        queries = self._as_queries(X)
+        rows, points, distances = self._radius_pairs(queries, float(radius))
+        return pairs_to_csr(rows, points, distances, queries.shape[0])
 
-    def _radius_search(self, node: _KDNode, query: np.ndarray, radius: float, found: List[int]) -> None:
-        if self._min_distance_to_box(node, query) > radius:
-            return
-        if node.is_leaf:
-            subset = self._points[node.indices]
-            distances = np.linalg.norm(subset - query, axis=1)
-            found.extend(node.indices[distances <= radius].tolist())
-            return
-        self._radius_search(node.left, query, radius, found)
-        self._radius_search(node.right, query, radius, found)
+    def _radius_pairs(
+        self, queries: np.ndarray, radius: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All (query row, point index, distance) triples within ``radius``."""
+        n_queries = queries.shape[0]
+        frontier_nodes = np.zeros(n_queries, dtype=np.int64)
+        frontier_queries = np.arange(n_queries, dtype=np.int64)
+        bound = radius * (1.0 + _PRUNE_SLACK)
+        row_parts: List[np.ndarray] = []
+        point_parts: List[np.ndarray] = []
+        dist_parts: List[np.ndarray] = []
 
-    def query(self, point, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
-        """Return the distances and indices of the ``k`` nearest neighbours."""
+        while frontier_nodes.size:
+            min_dist = self._min_distance_to_boxes(frontier_nodes, queries[frontier_queries])
+            keep = min_dist <= bound
+            frontier_nodes = frontier_nodes[keep]
+            frontier_queries = frontier_queries[keep]
+            if frontier_nodes.size == 0:
+                break
+
+            is_leaf = self._node_axis[frontier_nodes] < 0
+            if is_leaf.any():
+                rows, points, distances = self._leaf_candidates(
+                    frontier_nodes[is_leaf], frontier_queries[is_leaf], queries
+                )
+                within = distances <= radius
+                row_parts.append(rows[within])
+                point_parts.append(points[within])
+                dist_parts.append(distances[within])
+
+            inner = ~is_leaf
+            inner_nodes = frontier_nodes[inner]
+            inner_queries = frontier_queries[inner]
+            frontier_nodes = np.concatenate(
+                [self._node_left[inner_nodes], self._node_right[inner_nodes]]
+            )
+            frontier_queries = np.concatenate([inner_queries, inner_queries])
+
+        if not row_parts:
+            return _EMPTY_INDEX, _EMPTY_INDEX, _EMPTY_FLOAT
+        return (
+            np.concatenate(row_parts),
+            np.concatenate(point_parts),
+            np.concatenate(dist_parts),
+        )
+
+    def query_batch(self, X, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Distances and indices of the ``k`` nearest neighbours of each row.
+
+        Returns ``(distances, indices)`` of shape ``(n_queries, k)``, sorted
+        by ascending distance (ties broken by ascending point index).  Every
+        query first descends to its home leaf to seed a distance bound, then
+        a shared frontier traversal prunes against the per-query k-th best.
+        """
         if k < 1:
             raise ValidationError("k must be at least 1")
         if k > self.n_points:
             raise ValidationError(f"k={k} exceeds the number of indexed points ({self.n_points})")
-        query = self._as_query(point)
-        # (distance, index) pairs of the best candidates found so far.
-        best: List[Tuple[float, int]] = []
-        self._knn_search(self._root, query, k, best)
-        best.sort()
-        distances = np.array([d for d, _ in best], dtype=np.float64)
-        indices = np.array([i for _, i in best], dtype=np.int64)
-        return distances, indices
+        queries = self._as_queries(X)
+        n_queries = queries.shape[0]
+        best_dist = np.full((n_queries, k), np.inf, dtype=np.float64)
+        # Sentinel index sorts after every real point on (distance, index) ties.
+        best_idx = np.full((n_queries, k), self.n_points, dtype=np.int64)
 
-    def _knn_search(self, node: _KDNode, query: np.ndarray, k: int, best: List[Tuple[float, int]]) -> None:
-        worst = best[-1][0] if len(best) == k else np.inf
-        if self._min_distance_to_box(node, query) > worst:
-            return
-        if node.is_leaf:
-            subset = self._points[node.indices]
-            distances = np.linalg.norm(subset - query, axis=1)
-            for distance, index in zip(distances, node.indices):
-                if len(best) < k:
-                    best.append((float(distance), int(index)))
-                    best.sort()
-                elif distance < best[-1][0]:
-                    best[-1] = (float(distance), int(index))
-                    best.sort()
-            return
-        # Visit the child containing the query first for better pruning.
-        if query[node.axis] <= node.split_value:
-            first, second = node.left, node.right
-        else:
-            first, second = node.right, node.left
-        self._knn_search(first, query, k, best)
-        self._knn_search(second, query, k, best)
+        # Phase 1: route every query to its home leaf and seed the bounds.
+        home_leaf = self._descend_to_leaves(queries)
+        rows, points, distances = self._leaf_candidates(
+            home_leaf, np.arange(n_queries, dtype=np.int64), queries
+        )
+        self._merge_topk(best_dist, best_idx, rows, points, distances, k)
+
+        # Phase 2: frontier traversal pruned by the per-query k-th best.
+        frontier_nodes = np.zeros(n_queries, dtype=np.int64)
+        frontier_queries = np.arange(n_queries, dtype=np.int64)
+        while frontier_nodes.size:
+            min_dist = self._min_distance_to_boxes(frontier_nodes, queries[frontier_queries])
+            keep = min_dist <= best_dist[frontier_queries, k - 1] * (1.0 + _PRUNE_SLACK)
+            frontier_nodes = frontier_nodes[keep]
+            frontier_queries = frontier_queries[keep]
+            if frontier_nodes.size == 0:
+                break
+
+            is_leaf = self._node_axis[frontier_nodes] < 0
+            # Home leaves were already consumed in phase 1.
+            fresh_leaf = is_leaf & (frontier_nodes != home_leaf[frontier_queries])
+            if fresh_leaf.any():
+                rows, points, distances = self._leaf_candidates(
+                    frontier_nodes[fresh_leaf], frontier_queries[fresh_leaf], queries
+                )
+                self._merge_topk(best_dist, best_idx, rows, points, distances, k)
+
+            inner = ~is_leaf
+            inner_nodes = frontier_nodes[inner]
+            inner_queries = frontier_queries[inner]
+            frontier_nodes = np.concatenate(
+                [self._node_left[inner_nodes], self._node_right[inner_nodes]]
+            )
+            frontier_queries = np.concatenate([inner_queries, inner_queries])
+
+        return best_dist, best_idx
+
+    # ------------------------------------------------- single-point wrappers
+    def query_radius(self, point, radius: float) -> np.ndarray:
+        """Return the indices of all points within ``radius`` of ``point``."""
+        if radius < 0:
+            raise ValidationError("radius must be non-negative")
+        query = np.asarray(point, dtype=np.float64).ravel()
+        points, _, _ = self.query_radius_csr(query.reshape(1, -1), radius)
+        return points
+
+    def query(self, point, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the distances and indices of the ``k`` nearest neighbours."""
+        query = np.asarray(point, dtype=np.float64).ravel()
+        distances, indices = self.query_batch(query.reshape(1, -1), k)
+        return distances[0], indices[0]
 
     # -------------------------------------------------------------- helpers
-    def _as_query(self, point) -> np.ndarray:
-        query = np.asarray(point, dtype=np.float64).ravel()
-        if query.shape[0] != self.n_dims:
-            raise ValidationError(
-                f"Query point has {query.shape[0]} dimensions, tree holds {self.n_dims}"
-            )
-        if not np.all(np.isfinite(query)):
-            raise ValidationError("Query point contains NaN or infinite values")
-        return query
+    def _as_queries(self, X) -> np.ndarray:
+        return as_query_matrix(X, self.n_dims, "tree")
 
-    @staticmethod
-    def _min_distance_to_box(node: _KDNode, query: np.ndarray) -> float:
-        below = np.maximum(0.0, node.lower_bound - query)
-        above = np.maximum(0.0, query - node.upper_bound)
-        return float(np.linalg.norm(below + above))
+    def _min_distance_to_boxes(self, nodes: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        """Min Euclidean distance from each query to its paired node's box."""
+        gap = np.maximum(self._node_lower[nodes] - queries, 0.0)
+        gap += np.maximum(queries - self._node_upper[nodes], 0.0)
+        return np.linalg.norm(gap, axis=1)
+
+    def _leaf_candidates(
+        self, leaf_nodes: np.ndarray, leaf_queries: np.ndarray, queries: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expand (leaf, query) pairs into (query row, point, distance) triples."""
+        counts = self._node_end[leaf_nodes] - self._node_start[leaf_nodes]
+        rows = np.repeat(leaf_queries, counts)
+        positions = np.repeat(self._node_start[leaf_nodes], counts) + segment_arange(counts)
+        points = self._index[positions]
+        diffs = self._points[points] - queries[rows]
+        distances = np.linalg.norm(diffs, axis=1)
+        return rows, points, distances
+
+    def _descend_to_leaves(self, queries: np.ndarray) -> np.ndarray:
+        """Route each query to the leaf its coordinates fall into."""
+        current = np.zeros(queries.shape[0], dtype=np.int64)
+        active = np.flatnonzero(self._node_axis[current] >= 0)
+        while active.size:
+            nodes = current[active]
+            axis = self._node_axis[nodes]
+            go_left = queries[active, axis] <= self._node_split[nodes]
+            current[active] = np.where(go_left, self._node_left[nodes], self._node_right[nodes])
+            active = active[self._node_axis[current[active]] >= 0]
+        return current
+
+    def _merge_topk(
+        self,
+        best_dist: np.ndarray,
+        best_idx: np.ndarray,
+        rows: np.ndarray,
+        points: np.ndarray,
+        distances: np.ndarray,
+        k: int,
+    ) -> None:
+        """Fold candidate (row, point, distance) triples into the running top-k."""
+        if rows.size == 0:
+            return
+        affected = np.unique(rows)
+        cand_rows = np.concatenate([rows, np.repeat(affected, k)])
+        cand_dist = np.concatenate([distances, best_dist[affected].ravel()])
+        cand_idx = np.concatenate([points, best_idx[affected].ravel()])
+        order = np.lexsort((cand_idx, cand_dist, cand_rows))
+        cand_rows = cand_rows[order]
+        cand_dist = cand_dist[order]
+        cand_idx = cand_idx[order]
+        # Rank of each candidate within its query segment; keep ranks < k.
+        boundaries = np.flatnonzero(np.diff(cand_rows)) + 1
+        seg_starts = np.concatenate([np.zeros(1, dtype=np.int64), boundaries])
+        seg_counts = np.diff(np.concatenate([seg_starts, [cand_rows.size]]))
+        ranks = np.arange(cand_rows.size, dtype=np.int64) - np.repeat(seg_starts, seg_counts)
+        take = ranks < k
+        best_dist[cand_rows[take], ranks[take]] = cand_dist[take]
+        best_idx[cand_rows[take], ranks[take]] = cand_idx[take]

@@ -37,6 +37,9 @@ _KERNELS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
     "epanechnikov": epanechnikov_kernel,
 }
 
+COMPACT_KERNELS = ("tophat", "epanechnikov")
+"""Kernels with support bounded by one bandwidth (spatial indexes apply)."""
+
 
 def kernel_by_name(name: str) -> Callable[[np.ndarray], np.ndarray]:
     """Look up a kernel function by name (case-insensitive)."""

@@ -1,0 +1,275 @@
+"""Frozen copy of the seed density implementation — DO NOT MODIFY.
+
+This module preserves the original per-row, node-object implementation of
+:class:`KDTree` and :class:`KernelDensity` exactly as it shipped before the
+batch density engine replaced it.  It exists for one purpose: the engine's
+*frozen-equivalence guarantee*.  The equivalence suite
+(``tests/test_density_engine.py``) and the speedup benchmark
+(``benchmarks/test_density_backends.py``) score the same inputs through both
+implementations and assert that log-densities and density ranks are
+**bit-identical**, so any numerical drift in the rewrite is caught
+immediately.
+
+Nothing outside those tests should import this module; production code uses
+:mod:`repro.density.kde` and :mod:`repro.density.kdtree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.density.kde import scott_bandwidth, silverman_bandwidth
+from repro.density.kernels import kernel_by_name, log_normalization
+from repro.exceptions import ValidationError
+from repro.learners.base import BaseEstimator
+from repro.utils.validation import check_array
+
+
+@dataclass
+class _KDNode:
+    """Internal node: splitting axis/value plus bounding box of its subtree."""
+
+    indices: np.ndarray
+    axis: int = -1
+    split_value: float = 0.0
+    left: Optional["_KDNode"] = None
+    right: Optional["_KDNode"] = None
+    lower_bound: Optional[np.ndarray] = None
+    upper_bound: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class ReferenceKDTree:
+    """The seed k-d tree: node objects, recursive per-point queries."""
+
+    def __init__(self, points, leaf_size: int = 16) -> None:
+        if leaf_size < 1:
+            raise ValidationError("leaf_size must be at least 1")
+        self._points = check_array(points, name="points")
+        self.leaf_size = leaf_size
+        self.n_points, self.n_dims = self._points.shape
+        self._root = self._build(np.arange(self.n_points), depth=0)
+
+    @property
+    def points(self) -> np.ndarray:
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    # ---------------------------------------------------------------- build
+    def _build(self, indices: np.ndarray, depth: int) -> _KDNode:
+        subset = self._points[indices]
+        node = _KDNode(
+            indices=indices,
+            lower_bound=subset.min(axis=0),
+            upper_bound=subset.max(axis=0),
+        )
+        if indices.size <= self.leaf_size:
+            return node
+
+        spreads = node.upper_bound - node.lower_bound
+        axis = int(np.argmax(spreads))
+        if spreads[axis] <= 0.0:
+            # All remaining points are identical: keep as a leaf.
+            return node
+
+        values = subset[:, axis]
+        median = float(np.median(values))
+        left_mask = values <= median
+        # Guard against degenerate splits where the median equals the maximum.
+        if left_mask.all() or not left_mask.any():
+            order = np.argsort(values)
+            half = indices.size // 2
+            left_mask = np.zeros(indices.size, dtype=bool)
+            left_mask[order[:half]] = True
+
+        node.axis = axis
+        node.split_value = median
+        node.left = self._build(indices[left_mask], depth + 1)
+        node.right = self._build(indices[~left_mask], depth + 1)
+        return node
+
+    # -------------------------------------------------------------- queries
+    def query_radius(self, point, radius: float) -> np.ndarray:
+        if radius < 0:
+            raise ValidationError("radius must be non-negative")
+        query = self._as_query(point)
+        found: List[int] = []
+        self._radius_search(self._root, query, radius, found)
+        return np.array(sorted(found), dtype=np.int64)
+
+    def _radius_search(
+        self, node: _KDNode, query: np.ndarray, radius: float, found: List[int]
+    ) -> None:
+        if self._min_distance_to_box(node, query) > radius:
+            return
+        if node.is_leaf:
+            subset = self._points[node.indices]
+            distances = np.linalg.norm(subset - query, axis=1)
+            found.extend(node.indices[distances <= radius].tolist())
+            return
+        self._radius_search(node.left, query, radius, found)
+        self._radius_search(node.right, query, radius, found)
+
+    def query(self, point, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        if k < 1:
+            raise ValidationError("k must be at least 1")
+        if k > self.n_points:
+            raise ValidationError(f"k={k} exceeds the number of indexed points ({self.n_points})")
+        query = self._as_query(point)
+        best: List[Tuple[float, int]] = []
+        self._knn_search(self._root, query, k, best)
+        best.sort()
+        distances = np.array([d for d, _ in best], dtype=np.float64)
+        indices = np.array([i for _, i in best], dtype=np.int64)
+        return distances, indices
+
+    def _knn_search(
+        self, node: _KDNode, query: np.ndarray, k: int, best: List[Tuple[float, int]]
+    ) -> None:
+        worst = best[-1][0] if len(best) == k else np.inf
+        if self._min_distance_to_box(node, query) > worst:
+            return
+        if node.is_leaf:
+            subset = self._points[node.indices]
+            distances = np.linalg.norm(subset - query, axis=1)
+            for distance, index in zip(distances, node.indices):
+                if len(best) < k:
+                    best.append((float(distance), int(index)))
+                    best.sort()
+                elif distance < best[-1][0]:
+                    best[-1] = (float(distance), int(index))
+                    best.sort()
+            return
+        if query[node.axis] <= node.split_value:
+            first, second = node.left, node.right
+        else:
+            first, second = node.right, node.left
+        self._knn_search(first, query, k, best)
+        self._knn_search(second, query, k, best)
+
+    # -------------------------------------------------------------- helpers
+    def _as_query(self, point) -> np.ndarray:
+        query = np.asarray(point, dtype=np.float64).ravel()
+        if query.shape[0] != self.n_dims:
+            raise ValidationError(
+                f"Query point has {query.shape[0]} dimensions, tree holds {self.n_dims}"
+            )
+        if not np.all(np.isfinite(query)):
+            raise ValidationError("Query point contains NaN or infinite values")
+        return query
+
+    @staticmethod
+    def _min_distance_to_box(node: _KDNode, query: np.ndarray) -> float:
+        below = np.maximum(0.0, node.lower_bound - query)
+        above = np.maximum(0.0, query - node.upper_bound)
+        return float(np.linalg.norm(below + above))
+
+
+class ReferenceKernelDensity(BaseEstimator):
+    """The seed KDE: one recursive tree query per scored row."""
+
+    _COMPACT_KERNELS = ("tophat", "epanechnikov")
+
+    def __init__(
+        self,
+        bandwidth="scott",
+        kernel: str = "gaussian",
+        algorithm: str = "auto",
+        leaf_size: int = 32,
+    ) -> None:
+        self.bandwidth = bandwidth
+        self.kernel = kernel
+        self.algorithm = algorithm
+        self.leaf_size = leaf_size
+
+    # -------------------------------------------------------------------- fit
+    def fit(self, X) -> "ReferenceKernelDensity":
+        X = check_array(X, name="X")
+        kernel_by_name(self.kernel)  # validate the kernel name early
+        if self.algorithm not in ("auto", "brute", "kd_tree"):
+            raise ValidationError("algorithm must be 'auto', 'brute', or 'kd_tree'")
+
+        if isinstance(self.bandwidth, str):
+            rule = self.bandwidth.strip().lower()
+            if rule == "scott":
+                resolved = scott_bandwidth(X)
+            elif rule == "silverman":
+                resolved = silverman_bandwidth(X)
+            else:
+                raise ValidationError(
+                    f"Unknown bandwidth rule {self.bandwidth!r}; use 'scott' or 'silverman'"
+                )
+        else:
+            resolved = float(self.bandwidth)
+        if resolved <= 0:
+            raise ValidationError("bandwidth must resolve to a positive value")
+
+        self.bandwidth_ = resolved
+        self.training_data_ = X.copy()
+        self.n_features_ = X.shape[1]
+
+        use_tree = self.algorithm == "kd_tree" or (
+            self.algorithm == "auto"
+            and self.kernel in self._COMPACT_KERNELS
+            and X.shape[0] >= 4 * self.leaf_size
+        )
+        self._tree = ReferenceKDTree(X, leaf_size=self.leaf_size) if use_tree else None
+        return self
+
+    # ------------------------------------------------------------------ score
+    def score_samples(self, X) -> np.ndarray:
+        self._check_fitted("training_data_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, estimator was fitted with {self.n_features_}"
+            )
+        kernel_fn = kernel_by_name(self.kernel)
+        log_norm = log_normalization(self.kernel, self.bandwidth_, self.n_features_)
+        n_train = self.training_data_.shape[0]
+
+        densities = np.empty(X.shape[0], dtype=np.float64)
+        if self._tree is not None and self.kernel in self._COMPACT_KERNELS:
+            # Compact support: only points within one bandwidth contribute.
+            for i, row in enumerate(X):
+                neighbour_idx = self._tree.query_radius(row, self.bandwidth_)
+                if neighbour_idx.size == 0:
+                    densities[i] = 0.0
+                    continue
+                diffs = self.training_data_[neighbour_idx] - row
+                scaled = np.linalg.norm(diffs, axis=1) / self.bandwidth_
+                densities[i] = float(kernel_fn(scaled).sum())
+        else:
+            # Brute force in manageable blocks to bound memory.
+            train_sq = np.einsum("ij,ij->i", self.training_data_, self.training_data_)
+            block = max(1, int(4e6 // max(n_train, 1)))
+            for start in range(0, X.shape[0], block):
+                chunk = X[start : start + block]
+                chunk_sq = np.einsum("ij,ij->i", chunk, chunk)
+                squared = (
+                    chunk_sq[:, None] + train_sq[None, :] - 2.0 * (chunk @ self.training_data_.T)
+                )
+                np.maximum(squared, 0.0, out=squared)
+                scaled = np.sqrt(squared) / self.bandwidth_
+                densities[start : start + block] = kernel_fn(scaled).sum(axis=1)
+
+        with np.errstate(divide="ignore"):
+            log_density = np.log(densities) - np.log(n_train) + log_norm
+        return log_density
+
+    def score(self, X) -> float:
+        return float(np.sum(self.score_samples(X)))
+
+    def density_rank(self, X) -> np.ndarray:
+        log_density = self.score_samples(X)
+        order = np.argsort(-log_density, kind="mergesort")
+        ranks = np.empty_like(order)
+        ranks[order] = np.arange(order.size)
+        return ranks

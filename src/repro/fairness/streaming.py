@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.density_filter import iter_group_partitions
 from repro.exceptions import ValidationError
 from repro.fairness.report import FairnessReport
 
@@ -91,13 +92,14 @@ class StreamCounts:
             if y_true.shape[0] != y_pred.shape[0]:
                 raise ValidationError("y_true and y_pred must have the same number of rows")
         counts = np.zeros((2, 6), dtype=np.int64)
-        for g in (0, 1):
-            mask = group == g
-            pred = y_pred[mask]
-            counts[g, _N] = mask.sum()
+        # The shared per-group iterator (see repro.core.density_filter) keeps
+        # this bookkeeping loop identical to every other partition walk.
+        for g, rows in iter_group_partitions(group):
+            pred = y_pred[rows]
+            counts[g, _N] = rows.size
             counts[g, _SELECTED] = int(np.sum(pred == 1))
             if y_true is not None:
-                true = y_true[mask]
+                true = y_true[rows]
                 counts[g, _TP] = int(np.sum((true == 1) & (pred == 1)))
                 counts[g, _FP] = int(np.sum((true == 0) & (pred == 1)))
                 counts[g, _FN] = int(np.sum((true == 1) & (pred == 0)))

@@ -41,11 +41,12 @@ from repro.serving.artifacts import (
     register_serializable,
     save_artifact,
 )
-from repro.serving.monitor import DriftStatus, FairnessMonitor
+from repro.serving.monitor import DensityDriftStatus, DriftStatus, FairnessMonitor
 from repro.serving.service import PredictionService, ServiceStats
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "DensityDriftStatus",
     "DriftStatus",
     "FairnessMonitor",
     "PredictionService",

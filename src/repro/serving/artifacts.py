@@ -45,6 +45,7 @@ from repro.core.diffair import DiffFair
 from repro.core.partitions import PartitionProfile
 from repro.datasets.preprocessing import PreprocessingPipeline
 from repro.datasets.table import Dataset
+from repro.density.kde import KernelDensity
 from repro.exceptions import ArtifactError, ReproError
 from repro.fairness.report import FairnessReport
 from repro.interventions.base import DeployedModel
@@ -90,6 +91,7 @@ _SERIALIZABLE_CLASSES: Dict[str, Type[BaseEstimator]] = {
         StandardScaler,
         MinMaxScaler,
         PreprocessingPipeline,
+        KernelDensity,
         ConFair,
         DiffFair,
         MultiModel,

@@ -16,7 +16,14 @@ both halves of that framing for a live service:
   :class:`~repro.core.partitions.PartitionProfile` DiffFair routes by); a
   windowed mean violation well above the fit-time baseline means the serving
   data no longer conforms to any training partition, and the monitor raises
-  a drift alarm before the fairness metrics (which need labels) can react.
+  a drift alarm before the fairness metrics (which need labels) can react;
+* **density drift** (optional) — when the monitor holds a fitted
+  :class:`~repro.density.KernelDensity`, every observed batch is scored in
+  one vectorized ``score_samples`` pass (the batch density engine — no
+  per-row work on the serving hot path) and the windowed mean log-density is
+  compared against the fit-time baseline: traffic sliding into low-density
+  regions of the training distribution is the soft, early version of the
+  conformance signal.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from typing import Deque, Optional, Tuple
 import numpy as np
 
 from repro.core.partitions import PartitionProfile
+from repro.density.kde import KernelDensity
 from repro.exceptions import ValidationError
 from repro.fairness.report import FairnessReport
 from repro.fairness.streaming import (
@@ -35,6 +43,11 @@ from repro.fairness.streaming import (
     fold_disparate_impact,
     report_from_counts,
 )
+
+LOG_DENSITY_FLOOR = -700.0
+"""Clamp for ``-inf`` log-densities (zero density under a compact kernel):
+``exp(-700)`` sits just above the smallest positive double, so a clamped
+window mean stays finite while still signalling maximal drift."""
 
 
 @dataclass(frozen=True)
@@ -54,8 +67,24 @@ class DriftStatus:
     alarm: bool
 
 
+@dataclass(frozen=True)
+class DensityDriftStatus:
+    """Snapshot of the density-drift signal.
+
+    ``drop`` is how far (in nats) the windowed mean log-density sits below
+    the fit-time baseline; ``alarm`` fires once enough scored samples are in
+    the window and the drop exceeds the configured ``density_drop``.
+    """
+
+    n_scored: int
+    mean_log_density: float
+    baseline_log_density: Optional[float]
+    drop: Optional[float]
+    alarm: bool
+
+
 class FairnessMonitor:
-    """Sliding-window fairness metrics plus a conformance-drift alarm.
+    """Sliding-window fairness metrics plus conformance/density drift alarms.
 
     Parameters
     ----------
@@ -68,9 +97,15 @@ class FairnessMonitor:
         output of :func:`repro.core.profile_partitions`).  When provided,
         every observed feature batch is scored for conformance violation and
         the drift alarm becomes active.
+    density_estimator:
+        Optional *fitted* :class:`~repro.density.KernelDensity` (typically
+        fitted on the training data's numeric columns).  When provided,
+        every observed feature batch is scored through the batch density
+        engine and the density-drift signal becomes active.
     n_numeric_features:
         How many leading feature columns are numeric (what the constraints
-        profile).  Defaults to the width the profile's constraints expect.
+        and the density estimator profile).  Defaults to the width the
+        profile's constraints (or the density estimator) expect.
     drift_factor:
         Alarm when the windowed mean violation exceeds this multiple of the
         baseline violation.
@@ -78,7 +113,11 @@ class FairnessMonitor:
         Absolute floor for the alarm threshold, so near-zero baselines do
         not turn noise into alarms.
     min_samples:
-        Minimum scored observations in the window before the alarm may fire.
+        Minimum scored observations in the window before either alarm may
+        fire.
+    density_drop:
+        Density-drift alarm threshold: the windowed mean log-density must
+        fall this many nats below the baseline.
     """
 
     def __init__(
@@ -86,29 +125,43 @@ class FairnessMonitor:
         window_size: int = 5000,
         *,
         profile: Optional[PartitionProfile] = None,
+        density_estimator: Optional[KernelDensity] = None,
         n_numeric_features: Optional[int] = None,
         drift_factor: float = 3.0,
         min_violation: float = 0.05,
         min_samples: int = 50,
+        density_drop: float = 1.0,
     ) -> None:
         if window_size < 1:
             raise ValidationError("window_size must be at least 1")
         if drift_factor <= 0:
             raise ValidationError("drift_factor must be positive")
+        if density_drop <= 0:
+            raise ValidationError("density_drop must be positive")
+        if density_estimator is not None and not hasattr(density_estimator, "training_data_"):
+            raise ValidationError(
+                "density_estimator must be a fitted KernelDensity (call fit() first)"
+            )
         self.window_size = int(window_size)
         self.profile = profile
+        self.density_estimator = density_estimator
         self.n_numeric_features = n_numeric_features
         self.drift_factor = float(drift_factor)
         self.min_violation = float(min_violation)
         self.min_samples = int(min_samples)
+        self.density_drop = float(density_drop)
 
-        # (counts, batch size, violation sum, scored rows) per retained batch.
-        self._chunks: Deque[Tuple[StreamCounts, int, float, int]] = deque()
+        # Per retained batch: (counts, batch size, violation sum, violation
+        # rows, log-density sum, log-density rows).
+        self._chunks: Deque[Tuple[StreamCounts, int, float, int, float, int]] = deque()
         self._window_counts = StreamCounts()
         self._window_rows = 0
         self._violation_sum = 0.0
         self._violation_rows = 0
+        self._log_density_sum = 0.0
+        self._log_density_rows = 0
         self._baseline_violation: Optional[float] = None
+        self._baseline_log_density: Optional[float] = None
         self.n_seen = 0
 
     # ----------------------------------------------------------- updating
@@ -124,15 +177,16 @@ class FairnessMonitor:
             fairness accounting needs (even for interventions that never
             read it at prediction time).  ``None`` is the genuinely
             group-blind case: the batch still counts toward the window and
-            feeds the drift alarm (conformance scoring needs only ``X``),
-            but contributes nothing to the fairness metrics.
+            feeds the drift alarms (conformance and density scoring need
+            only ``X``), but contributes nothing to the fairness metrics.
         y_true:
             Optional ground-truth labels (delayed labels are the norm in
             serving; windows mixing labelled and unlabelled traffic support
             :meth:`windowed_summary` but not the full report).
         X:
             Optional feature rows; scored for conformance violation when the
-            monitor holds a profile.
+            monitor holds a profile and for log-density when it holds a
+            density estimator.
         """
         counts = (
             StreamCounts.from_batch(y_pred, group, y_true)
@@ -141,27 +195,47 @@ class FairnessMonitor:
         )
         size = int(np.asarray(y_pred).ravel().shape[0])
         violation_sum, scored = 0.0, 0
+        density_sum, density_scored = 0.0, 0
         if X is not None and self.profile is not None:
             violations = self.violation_scores(X)
             violation_sum = float(violations.sum())
             scored = int(violations.shape[0])
-        self._chunks.append((counts, size, violation_sum, scored))
+        if X is not None and self.density_estimator is not None:
+            log_densities = self.log_density_scores(X)
+            density_sum = float(log_densities.sum())
+            density_scored = int(log_densities.shape[0])
+        self._chunks.append((counts, size, violation_sum, scored, density_sum, density_scored))
         self._window_counts += counts
         self._window_rows += size
         self._violation_sum += violation_sum
         self._violation_rows += scored
+        self._log_density_sum += density_sum
+        self._log_density_rows += density_scored
         self.n_seen += size
         self._evict()
 
     def _evict(self) -> None:
         while self._window_rows > self.window_size and len(self._chunks) > 1:
-            counts, size, violation_sum, scored = self._chunks.popleft()
+            counts, size, violation_sum, scored, density_sum, density_scored = (
+                self._chunks.popleft()
+            )
             self._window_counts -= counts
             self._window_rows -= size
             self._violation_sum -= violation_sum
             self._violation_rows -= scored
+            self._log_density_sum -= density_sum
+            self._log_density_rows -= density_scored
 
     # -------------------------------------------------------------- drift
+    def _numeric_columns(self, X, width_default: int) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        width = self.n_numeric_features
+        if width is None:
+            width = width_default
+        return X[:, :width]
+
     def violation_scores(self, X) -> np.ndarray:
         """Per-row conformance violation against the *closest* training partition.
 
@@ -171,14 +245,13 @@ class FairnessMonitor:
         """
         if self.profile is None:
             raise ValidationError("FairnessMonitor has no partition profile to score against")
-        X = np.asarray(X, dtype=np.float64)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
-        width = self.n_numeric_features
-        if width is None:
-            first = next(iter(self.profile.constraint_sets.values()))
-            width = first.constraints[0].projection.n_features if len(first) else X.shape[1]
-        numeric = X[:, :width]
+        first = next(iter(self.profile.constraint_sets.values()))
+        width_default = (
+            first.constraints[0].projection.n_features
+            if len(first)
+            else np.asarray(X).shape[-1]
+        )
+        numeric = self._numeric_columns(X, width_default)
         per_group = [
             self.profile.min_violation_for_group(g, numeric)
             for g in (0, 1)
@@ -186,10 +259,29 @@ class FairnessMonitor:
         ]
         return np.minimum.reduce(per_group)
 
+    def log_density_scores(self, X) -> np.ndarray:
+        """Per-row log-density of the observed tuples under the training KDE.
+
+        One batch ``score_samples`` call — the vectorized density engine —
+        with ``-inf`` (zero density under a compact kernel) clamped to
+        :data:`LOG_DENSITY_FLOOR` so window sums stay finite.
+        """
+        if self.density_estimator is None:
+            raise ValidationError("FairnessMonitor has no density estimator to score with")
+        numeric = self._numeric_columns(X, int(self.density_estimator.n_features_))
+        scores = self.density_estimator.score_samples(numeric)
+        return np.maximum(scores, LOG_DENSITY_FLOOR)
+
     def set_drift_baseline(self, X) -> float:
         """Fix the reference mean violation (typically on fit-time data)."""
         baseline = float(self.violation_scores(X).mean())
         self._baseline_violation = baseline
+        return baseline
+
+    def set_density_baseline(self, X) -> float:
+        """Fix the reference mean log-density (typically on fit-time data)."""
+        baseline = float(self.log_density_scores(X).mean())
+        self._baseline_log_density = baseline
         return baseline
 
     def drift_status(self) -> DriftStatus:
@@ -206,6 +298,17 @@ class FairnessMonitor:
         threshold = max(self.drift_factor * baseline, self.min_violation)
         alarm = n >= self.min_samples and mean > threshold
         return DriftStatus(n, mean, baseline, ratio, alarm)
+
+    def density_status(self) -> DensityDriftStatus:
+        """Current state of the density-drift signal."""
+        n = self._log_density_rows
+        mean = self._log_density_sum / n if n else 0.0
+        baseline = self._baseline_log_density
+        if baseline is None:
+            return DensityDriftStatus(n, mean, None, None, False)
+        drop = baseline - mean
+        alarm = n >= self.min_samples and drop > self.density_drop
+        return DensityDriftStatus(n, mean, baseline, drop, alarm)
 
     # ------------------------------------------------------------ reports
     @property
@@ -239,4 +342,12 @@ class FairnessMonitor:
             "baseline_violation": drift.baseline_violation,
             "alarm": drift.alarm,
         }
+        if self.density_estimator is not None:
+            density = self.density_status()
+            out["density"] = {
+                "n_scored": density.n_scored,
+                "mean_log_density": density.mean_log_density,
+                "baseline_log_density": density.baseline_log_density,
+                "alarm": density.alarm,
+            }
         return out

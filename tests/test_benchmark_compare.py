@@ -1,0 +1,108 @@
+"""Unit tests for the CI benchmark-regression gate (benchmarks/compare_benchmarks.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "compare_benchmarks.py"
+_spec = importlib.util.spec_from_file_location("compare_benchmarks", _SCRIPT)
+compare_benchmarks = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_benchmarks)
+
+
+def _payload(**medians):
+    return {
+        "benchmarks": [
+            {"fullname": name, "stats": {"median": median}}
+            for name, median in medians.items()
+        ]
+    }
+
+
+class TestCompare:
+    def test_within_gate_passes(self):
+        baseline = _payload(density_a=1.0, serving_b=2.0)
+        current = _payload(density_a=1.2, serving_b=2.1)
+        compared, failures = compare_benchmarks.compare(
+            baseline, current, max_slowdown=0.30
+        )
+        assert len(compared) == 2
+        assert failures == []
+
+    def test_regression_beyond_gate_fails(self):
+        baseline = _payload(density_a=1.0, serving_b=2.0)
+        current = _payload(density_a=1.5, serving_b=2.0)
+        _, failures = compare_benchmarks.compare(baseline, current, max_slowdown=0.30)
+        assert [name for name, _ in failures] == ["density_a"]
+        assert failures[0][1] == pytest.approx(0.5)
+
+    def test_speedups_never_fail(self):
+        baseline = _payload(density_a=2.0)
+        current = _payload(density_a=0.5)
+        compared, failures = compare_benchmarks.compare(
+            baseline, current, max_slowdown=0.30
+        )
+        assert compared[0][1] == pytest.approx(-0.75)
+        assert failures == []
+
+    def test_selection_restricts_comparison(self):
+        baseline = _payload(density_a=1.0, fig02_c=1.0)
+        current = _payload(density_a=1.0, fig02_c=99.0)
+        compared, failures = compare_benchmarks.compare(
+            baseline, current, max_slowdown=0.30, patterns=["density", "serving"]
+        )
+        assert [name for name, _ in compared] == ["density_a"]
+        assert failures == []
+
+    def test_new_and_removed_benchmarks_are_ignored(self):
+        baseline = _payload(old_density=1.0)
+        current = _payload(new_density=1.0)
+        compared, failures = compare_benchmarks.compare(
+            baseline, current, max_slowdown=0.30
+        )
+        assert compared == [] and failures == []
+
+
+class TestMain:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_missing_baseline_passes_trivially(self, tmp_path, capsys):
+        current = self._write(tmp_path / "current.json", _payload(density_a=1.0))
+        code = compare_benchmarks.main([str(tmp_path / "absent.json"), str(current)])
+        assert code == 0
+        assert "trivially" in capsys.readouterr().out
+
+    def test_missing_current_fails(self, tmp_path):
+        baseline = self._write(tmp_path / "baseline.json", _payload(density_a=1.0))
+        code = compare_benchmarks.main([str(baseline), str(tmp_path / "absent.json")])
+        assert code == 1
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "baseline.json", _payload(density_a=1.0))
+        current = self._write(tmp_path / "current.json", _payload(density_a=2.0))
+        code = compare_benchmarks.main(
+            [str(baseline), str(current), "--max-slowdown", "0.30", "--select", "density"]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_clean_run_exits_zero(self, tmp_path):
+        baseline = self._write(tmp_path / "baseline.json", _payload(density_a=1.0))
+        current = self._write(tmp_path / "current.json", _payload(density_a=1.05))
+        code = compare_benchmarks.main(
+            [str(baseline), str(current), "--max-slowdown", "0.30", "--select", "density"]
+        )
+        assert code == 0
+
+    def test_no_matching_selection_passes(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "baseline.json", _payload(fig02_c=1.0))
+        current = self._write(tmp_path / "current.json", _payload(fig02_c=9.0))
+        code = compare_benchmarks.main(
+            [str(baseline), str(current), "--select", "density"]
+        )
+        assert code == 0
+        assert "No common benchmarks" in capsys.readouterr().out

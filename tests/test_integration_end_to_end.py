@@ -1,6 +1,5 @@
 """Integration tests: full pipelines from dataset loading to fairness reports."""
 
-import numpy as np
 import pytest
 
 from repro import (

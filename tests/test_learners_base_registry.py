@@ -1,6 +1,5 @@
 """Unit tests for the estimator base classes and the learner registry."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import NotFittedError, ValidationError

@@ -8,6 +8,7 @@ import pytest
 from repro import FairnessPipeline, available_interventions
 from repro.datasets import make_drifted_groups, split_dataset
 from repro.datasets.preprocessing import PreprocessingPipeline, RawTable
+from repro.density import KernelDensity
 from repro.exceptions import ArtifactError
 from repro.interventions import DeployedModel, PipelineResult
 from repro.learners import make_learner
@@ -192,3 +193,46 @@ class TestManifest:
     def test_unserializable_object_rejected(self, tmp_path):
         with pytest.raises(ArtifactError, match="serialize"):
             save_artifact(object(), tmp_path / "a")
+
+
+class TestKernelDensityRoundTrip:
+    """A fitted KDE (including its resolved backend) round-trips bit-identically."""
+
+    @pytest.mark.parametrize("algorithm", ["brute", "kd_tree", "grid"])
+    def test_score_samples_bit_identical(self, tmp_path, algorithm):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(300, 2))
+        queries = rng.normal(size=(40, 2))
+        kde = KernelDensity(kernel="tophat", bandwidth=0.5, algorithm=algorithm).fit(X)
+        loaded = load_artifact(save_artifact(kde, tmp_path / "kde"))
+        assert isinstance(loaded, KernelDensity)
+        assert loaded.algorithm_ == kde.algorithm_ == algorithm
+        np.testing.assert_array_equal(
+            loaded.score_samples(queries), kde.score_samples(queries)
+        )
+        np.testing.assert_array_equal(loaded.density_rank(queries), kde.density_rank(queries))
+
+    def test_gaussian_scott_round_trip(self, tmp_path):
+        rng = np.random.default_rng(12)
+        X = rng.normal(size=(120, 3))
+        kde = KernelDensity(kernel="gaussian", bandwidth="scott").fit(X)
+        loaded = load_artifact(save_artifact(kde, tmp_path / "kde"))
+        assert loaded.bandwidth_ == kde.bandwidth_
+        np.testing.assert_array_equal(loaded.score_samples(X), kde.score_samples(X))
+
+    def test_unknown_backend_raises_artifact_error(self, tmp_path):
+        """A manifest naming a density backend this build lacks fails loudly."""
+        rng = np.random.default_rng(13)
+        kde = KernelDensity(kernel="tophat", bandwidth=0.5).fit(rng.normal(size=(200, 2)))
+        path = save_artifact(kde, tmp_path / "kde")
+        manifest = read_manifest(path)
+        state = manifest["root"]["value"]["state"]
+        patched = False
+        for pair in state["items"]:
+            if pair[0] == "algorithm_":
+                pair[1] = "hyper_octree"
+                patched = True
+        assert patched, "fitted KDE state should persist the resolved backend"
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ArtifactError, match="hyper_octree"):
+            load_artifact(path)

@@ -10,7 +10,7 @@ from repro.core import profile_partitions
 from repro.datasets import make_drifted_groups, split_dataset
 from repro.exceptions import ValidationError
 from repro.fairness import evaluate_predictions
-from repro.fairness.streaming import FairnessAccumulator, StreamCounts, report_from_counts
+from repro.fairness.streaming import FairnessAccumulator, StreamCounts
 from repro.serving import FairnessMonitor, PredictionService, save_artifact
 from repro.serving.cli import main as cli_main
 
@@ -192,6 +192,62 @@ class TestFairnessMonitor:
         summary = monitor.windowed_summary()
         assert summary["drift"]["alarm"]
         assert "di_star" not in summary  # no group info -> no fairness counts
+
+    def test_density_drift_alarm_fires_on_low_density_traffic(self, serving_split):
+        """The batch density channel flags traffic sliding into low-density
+        regions of the training distribution."""
+        from repro.density import KernelDensity
+
+        train = serving_split.train
+        deploy = serving_split.deploy
+        estimator = KernelDensity(kernel="gaussian", bandwidth="scott").fit(
+            train.numeric_X
+        )
+        monitor = FairnessMonitor(
+            window_size=deploy.n_samples,
+            density_estimator=estimator,
+            n_numeric_features=train.n_numeric_features,
+            min_samples=20,
+            density_drop=2.0,
+        )
+        baseline = monitor.set_density_baseline(train.X)
+        predictions = np.zeros(deploy.n_samples, dtype=np.int64)
+
+        monitor.update(predictions, deploy.group, X=deploy.X)
+        status = monitor.density_status()
+        assert status.n_scored == deploy.n_samples
+        assert status.baseline_log_density == baseline
+        assert not status.alarm  # in-distribution traffic
+
+        monitor.update(predictions, deploy.group, X=deploy.X + 25.0)
+        status = monitor.density_status()
+        assert status.alarm
+        assert status.drop > 2.0
+        summary = monitor.windowed_summary()
+        assert summary["density"]["alarm"]
+        assert summary["density"]["mean_log_density"] < baseline
+
+    def test_density_scores_match_batch_engine_exactly(self, serving_split):
+        from repro.density import KernelDensity
+
+        train = serving_split.train
+        estimator = KernelDensity(kernel="epanechnikov", bandwidth=1.0).fit(train.numeric_X)
+        monitor = FairnessMonitor(
+            density_estimator=estimator, n_numeric_features=train.n_numeric_features
+        )
+        scores = monitor.log_density_scores(train.X)
+        direct = estimator.score_samples(train.numeric_X)
+        np.testing.assert_array_equal(scores, np.maximum(direct, -700.0))
+
+    def test_density_estimator_must_be_fitted(self):
+        from repro.density import KernelDensity
+
+        with pytest.raises(ValidationError):
+            FairnessMonitor(density_estimator=KernelDensity())
+
+    def test_density_scoring_without_estimator_rejected(self):
+        with pytest.raises(ValidationError):
+            FairnessMonitor().log_density_scores(np.zeros((3, 2)))
 
     def test_acceptance_10k_group_blind_with_exact_windowed_di(
         self, tmp_path, serving_split, diffair_result
