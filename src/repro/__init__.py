@@ -55,6 +55,37 @@ corrupted payload) raises :class:`~repro.exceptions.ArtifactError`.  The
 ``repro-serve`` console script (``python -m repro.serve``) wires the path end
 to end: ``fit`` → ``save`` → ``serve``/``score``.
 
+Simulation quickstart::
+
+    from repro import FairnessPipeline, load_dataset, split_dataset
+    from repro.serving import FairnessMonitor, PredictionService
+    from repro.simulate import ReplayHarness, TrafficStream, make_scenario
+
+    result = FairnessPipeline("confair", dataset="meps", seed=7).run()
+    data = load_dataset("meps", size_factor=0.05, random_state=7)  # the pipeline's default scale
+    split = split_dataset(data, random_state=7)
+    monitor = FairnessMonitor(window_size=2000)
+    monitor.set_group_baseline(split.train.group)
+    service = PredictionService(result.model, monitor=monitor)
+
+    stream = TrafficStream(split.deploy, make_scenario("group_shift"),
+                           n_steps=40, batch_size=128, random_state=7)
+    outcome = ReplayHarness(service).replay(stream)
+    print(outcome.detected, outcome.detection_latency_steps, outcome.false_alarm_rate)
+
+The scenario engine (:mod:`repro.simulate`) generates the drifting, bursty,
+group-shifting traffic the serving monitors exist to catch: registered,
+composable, seed-deterministic scenarios (``@register_scenario`` /
+``make_scenario``, mirroring the interventions registry), replayable
+``TrafficBatch`` streams (same seed ⇒ bit-identical batches), and a
+``ReplayHarness`` that scores detection latency, false-alarm rate, windowed
+fairness degradation, and throughput per scenario.  The ``repro-simulate``
+console script (``python -m repro.simulate``) runs a scenario or a whole
+named suite end-to-end from a saved artifact and emits a JSON report.
+The monitor itself is checkpointable (``state_dict`` / ``load_state_dict``
++ artifact registration), so long replays can pause and resume with
+bit-identical windowed reports.
+
 Algorithm 3's density estimation runs on a batch-first engine
 (:mod:`repro.density`): ``KernelDensity(algorithm=...)`` dispatches
 ``score_samples`` onto a brute-force, flat batch KD-tree, or grid-hash
@@ -89,6 +120,7 @@ from repro.exceptions import (
     ExperimentError,
     NotFittedError,
     ReproError,
+    SimulationError,
     ValidationError,
 )
 from repro.fairness import FairnessAccumulator, FairnessReport, evaluate_predictions
@@ -110,15 +142,27 @@ from repro.learners import (
 )
 from repro.profiling import ConstraintSet, discover_constraints
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # The serving subsystem consumes everything above (interventions, learners,
-# datasets), so its import must come last.
+# datasets), and the simulation subsystem consumes serving — so these two
+# imports must come last, in this order.
 from repro.serving import (
     FairnessMonitor,
     PredictionService,
     load_artifact,
     save_artifact,
+)
+from repro.simulate import (
+    ReplayHarness,
+    ReplayResult,
+    Scenario,
+    SuiteRunner,
+    TrafficBatch,
+    TrafficStream,
+    available_scenarios,
+    make_scenario,
+    register_scenario,
 )
 
 __all__ = [
@@ -147,11 +191,19 @@ __all__ = [
     "OmniFairReweighing",
     "PipelineResult",
     "PredictionService",
+    "ReplayHarness",
+    "ReplayResult",
     "ReproError",
+    "Scenario",
+    "SimulationError",
+    "SuiteRunner",
+    "TrafficBatch",
+    "TrafficStream",
     "ValidationError",
     "__version__",
     "available_datasets",
     "available_interventions",
+    "available_scenarios",
     "density_filter",
     "describe_interventions",
     "discover_constraints",
@@ -162,8 +214,10 @@ __all__ = [
     "make_drifted_groups",
     "make_intervention",
     "make_learner",
+    "make_scenario",
     "profile_partitions",
     "register_intervention",
+    "register_scenario",
     "save_artifact",
     "split_dataset",
 ]

@@ -16,6 +16,9 @@ Public entry points:
   membership with convenient partitioning helpers.
 * :func:`make_classification` and :func:`make_drifted_groups` — synthetic
   generators (the latter reproduces the Fig. 10 drift scenario).
+* :func:`resample_dataset` / :func:`prevalence_weights` — shift-parameterized
+  weighted resampling (the primitive behind the :mod:`repro.simulate`
+  group-/label-shift traffic scenarios).
 * :class:`PreprocessingPipeline` — null removal, scaling, one-hot encoding.
 * :func:`split_dataset` — the 70/15/15 train/validation/deploy protocol.
 """
@@ -24,7 +27,13 @@ from repro.datasets.preprocessing import PreprocessingPipeline, RawTable
 from repro.datasets.registry import available_datasets, dataset_summary, load_dataset
 from repro.datasets.schema import ColumnSpec, DatasetSpec
 from repro.datasets.splits import DatasetSplit, split_dataset
-from repro.datasets.synthetic import make_classification, make_drifted_groups
+from repro.datasets.synthetic import (
+    joint_prevalence_weights,
+    make_classification,
+    make_drifted_groups,
+    prevalence_weights,
+    resample_dataset,
+)
 from repro.datasets.table import Dataset
 
 __all__ = [
@@ -37,7 +46,10 @@ __all__ = [
     "available_datasets",
     "dataset_summary",
     "load_dataset",
+    "joint_prevalence_weights",
     "make_classification",
     "make_drifted_groups",
+    "prevalence_weights",
+    "resample_dataset",
     "split_dataset",
 ]

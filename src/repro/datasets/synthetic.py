@@ -1,6 +1,6 @@
 """Synthetic dataset generators.
 
-Two generators live here:
+Three generators live here:
 
 * :func:`make_classification` — a reimplementation of the scikit-learn
   generator the paper uses for its synthetic study: class-conditional Gaussian
@@ -11,10 +11,16 @@ Two generators live here:
   minority group occupying overlapping regions of the input space but with
   *dissimilar* class-conditional distributions (covariate + concept drift
   across groups), so that a single model cannot conform to both groups.
+* :func:`resample_dataset` — a *shift-parameterized* resampler: draw a new
+  dataset from an existing one with a target minority fraction and/or
+  positive-label rate, the primitive behind the group-/label-shift traffic
+  scenarios in :mod:`repro.simulate` (which share its
+  :func:`prevalence_weights` math).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Tuple
 
 import numpy as np
@@ -205,3 +211,147 @@ def make_drifted_groups(
             "n_minority": n_minority,
         },
     )
+
+
+def prevalence_weights(indicator: np.ndarray, target_rate: float) -> np.ndarray:
+    """Per-row sampling weights that move a binary attribute to ``target_rate``.
+
+    Rows where ``indicator == 1`` receive weight ``target / current`` and the
+    rest ``(1 - target) / (1 - current)``, so sampling *with replacement*
+    under these weights yields an expected prevalence of exactly
+    ``target_rate``.  A target a degenerate pool cannot reach (no rows with
+    the needed value) raises :class:`DatasetError`.
+    """
+    indicator = np.asarray(indicator).ravel()
+    if not 0.0 <= target_rate <= 1.0:
+        raise DatasetError("target_rate must be in [0, 1]")
+    current = float(np.mean(indicator == 1))
+    weights = np.ones(indicator.shape[0], dtype=np.float64)
+    if target_rate > 0 and current == 0.0:
+        raise DatasetError("cannot raise prevalence: no rows with indicator == 1")
+    if target_rate < 1 and current == 1.0:
+        raise DatasetError("cannot lower prevalence: no rows with indicator == 0")
+    if current > 0:
+        weights[indicator == 1] = target_rate / current
+    if current < 1:
+        weights[indicator == 0] = (1.0 - target_rate) / (1.0 - current)
+    return weights
+
+
+def joint_prevalence_weights(
+    group: np.ndarray,
+    y: np.ndarray,
+    minority_fraction: float,
+    target_positive_rate: float,
+    *,
+    max_iterations: int = 500,
+    tolerance: float = 1e-9,
+) -> np.ndarray:
+    """Sampling weights hitting a group marginal *and* a label marginal at once.
+
+    Independent per-axis :func:`prevalence_weights` compound on pools where
+    group and label are correlated (upweighting the minority also drags the
+    positive rate), so the joint problem is solved by iterative proportional
+    fitting over the four (group, label) cell masses: alternate rescaling of
+    the group rows and the label columns until both marginals match.  Targets
+    a pool cannot jointly reach (e.g. unequal marginals on a pool where
+    ``group == y`` row-for-row) raise :class:`DatasetError`.
+    """
+    group = np.asarray(group).ravel()
+    y = np.asarray(y).ravel()
+    for name, target in (
+        ("minority_fraction", minority_fraction),
+        ("target_positive_rate", target_positive_rate),
+    ):
+        if not 0.0 <= target <= 1.0:
+            raise DatasetError(f"{name} must be in [0, 1]")
+    pool = np.empty((2, 2), dtype=np.float64)
+    for g in (0, 1):
+        for label in (0, 1):
+            pool[g, label] = np.sum((group == g) & (y == label))
+    pool /= group.shape[0]
+    mass = pool.copy()
+    row_targets = (1.0 - minority_fraction, minority_fraction)
+    column_targets = (1.0 - target_positive_rate, target_positive_rate)
+
+    def rescale(axis: int, targets) -> None:
+        sums = mass.sum(axis=1 - axis)
+        for index, target in enumerate(targets):
+            cells = (index, slice(None)) if axis == 0 else (slice(None), index)
+            if target == 0.0:
+                mass[cells] = 0.0
+            elif sums[index] == 0.0:
+                kind = ("group", "label")[axis]
+                raise DatasetError(
+                    f"cannot reach a {kind} prevalence of {target}: the pool has "
+                    f"no rows with {kind} == {index}"
+                )
+            else:
+                mass[cells] *= target / sums[index]
+
+    for _ in range(max_iterations):
+        rescale(0, row_targets)
+        rescale(1, column_targets)
+        row_error = np.abs(mass.sum(axis=1) - row_targets).max()
+        column_error = np.abs(mass.sum(axis=0) - column_targets).max()
+        if max(row_error, column_error) < tolerance:
+            break
+    else:
+        raise DatasetError(
+            f"minority_fraction={minority_fraction} and "
+            f"positive_rate={target_positive_rate} are not jointly achievable "
+            "on this pool (its (group, label) cells cannot carry both marginals)"
+        )
+    weights = np.zeros(group.shape[0], dtype=np.float64)
+    for g in (0, 1):
+        for label in (0, 1):
+            if pool[g, label] > 0:
+                weights[(group == g) & (y == label)] = mass[g, label] / pool[g, label]
+    return weights
+
+
+def resample_dataset(
+    dataset: Dataset,
+    *,
+    minority_fraction: Optional[float] = None,
+    positive_rate: Optional[float] = None,
+    n_samples: Optional[int] = None,
+    random_state=None,
+) -> Dataset:
+    """Draw a shifted copy of ``dataset`` by weighted resampling.
+
+    Rows are sampled with replacement under :func:`prevalence_weights` (one
+    target) or :func:`joint_prevalence_weights` (both targets — solved
+    jointly, so each requested marginal is achieved in expectation even when
+    group and label are correlated in the pool), while every tuple remains a
+    genuine tuple of the source: a pure prevalence shift — ``P(group)`` /
+    ``P(y)`` move, ``P(X | group, y)`` does not.
+    """
+    if minority_fraction is None and positive_rate is None and n_samples is None:
+        raise DatasetError(
+            "resample_dataset needs minority_fraction, positive_rate, or n_samples"
+        )
+    rng = check_random_state(random_state)
+    if minority_fraction is not None and positive_rate is not None:
+        weights = joint_prevalence_weights(
+            dataset.group, dataset.y, minority_fraction, positive_rate
+        )
+    elif minority_fraction is not None:
+        weights = prevalence_weights(dataset.group, minority_fraction)
+    elif positive_rate is not None:
+        weights = prevalence_weights(dataset.y, positive_rate)
+    else:
+        weights = np.ones(dataset.n_samples, dtype=np.float64)
+    size = dataset.n_samples if n_samples is None else int(n_samples)
+    if size < 1:
+        raise DatasetError("n_samples must be at least 1")
+    probabilities = weights / weights.sum()
+    indices = rng.choice(dataset.n_samples, size=size, replace=True, p=probabilities)
+    resampled = dataset.subset(indices)
+    metadata = dict(resampled.metadata)
+    metadata["resampled_from"] = dataset.name
+    if minority_fraction is not None:
+        metadata["target_minority_fraction"] = float(minority_fraction)
+    if positive_rate is not None:
+        metadata["target_positive_rate"] = float(positive_rate)
+    return replace(resampled, metadata=metadata)

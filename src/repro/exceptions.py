@@ -48,3 +48,12 @@ class ArtifactError(ReproError):
     classes this build does not provide, corrupted or missing payloads, and
     attempts to serialize objects that carry no persistable state.
     """
+
+
+class SimulationError(ReproError):
+    """Raised for invalid traffic-simulation setups.
+
+    Covers unknown scenario names, scenario parameters the scenario does not
+    accept, malformed schedules/compositions, and replays driven without the
+    monitor the scoring needs.
+    """

@@ -9,6 +9,11 @@ The harness has three layers:
 * one module per paper artifact (``figure02`` … ``figure14``) — compose the
   cells each figure needs and render the same rows/series the paper reports.
 
+Beyond the paper, :mod:`repro.experiments.scenario_suite` replays a
+:mod:`repro.simulate` scenario suite against a deployed intervention and
+reports per-scenario drift-detection latency, false-alarm rate, fairness
+degradation, and serving throughput.
+
 Every figure function returns a :class:`~repro.experiments.reporting.FigureResult`
 whose ``rows`` are plain dictionaries (easy to assert on in benchmarks) and
 whose ``render()`` produces an aligned text table.
@@ -30,6 +35,7 @@ from repro.experiments.figure13 import run_figure13
 from repro.experiments.figure14 import run_figure14
 from repro.experiments.reporting import FigureResult, render_table
 from repro.experiments.runner import METHOD_NAMES, evaluate_cell, run_method
+from repro.experiments.scenario_suite import run_scenario_suite
 
 __all__ = [
     "AggregatedCell",
@@ -54,4 +60,5 @@ __all__ = [
     "run_figure14",
     "run_intervention_sweep",
     "run_method",
+    "run_scenario_suite",
 ]

@@ -1,11 +1,14 @@
 """``python -m repro.serve`` — command-line entry to the serving subsystem.
 
-Thin alias for :mod:`repro.serving.cli` (the ``repro-serve`` console script),
-kept importable as a plain module so the ``-m`` form works without installing
-the package.
+Thin re-export of :mod:`repro.serving.cli` (the ``repro-serve`` console
+script): both entry points share one ``main`` and one ``build_parser``, so
+there is a single argument-parser source of truth and the module stays
+importable without installing the package.
 """
 
-from repro.serving.cli import main
+from repro.serving.cli import build_parser, main
+
+__all__ = ["build_parser", "main"]
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -13,8 +13,12 @@ attribute at prediction time):
   (optionally thread-pooled) serving front end that enforces the
   intervention's declared capabilities;
 * :mod:`repro.serving.monitor` — :class:`FairnessMonitor`, sliding-window
-  DI*/AOD*/balanced-accuracy over served traffic plus a conformance-violation
-  drift alarm built on the training-time partition profile;
+  DI*/AOD*/balanced-accuracy over served traffic plus three drift alarms:
+  conformance violation (training-time partition profile), density drift
+  (training-data KDE), and group-prevalence shift (windowed minority
+  fraction vs. the training mix).  The monitor is checkpointable —
+  ``state_dict`` / ``load_state_dict`` round-trip the full sliding window
+  bit-identically, and it rides in artifacts;
 * :mod:`repro.serving.cli` — the ``repro-serve`` command
   (``fit``/``save``/``score``/``serve``), also ``python -m repro.serve``.
 
@@ -41,14 +45,25 @@ from repro.serving.artifacts import (
     register_serializable,
     save_artifact,
 )
-from repro.serving.monitor import DensityDriftStatus, DriftStatus, FairnessMonitor
+from repro.serving.monitor import (
+    DensityDriftStatus,
+    DriftStatus,
+    FairnessMonitor,
+    GroupShiftStatus,
+)
 from repro.serving.service import PredictionService, ServiceStats
+
+# The monitor is checkpointable: registering it here (the one module that
+# already imports both sides) lets a windowed monitor ride inside artifacts
+# without coupling monitor.py to the artifact encoder.
+register_serializable(FairnessMonitor)
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "DensityDriftStatus",
     "DriftStatus",
     "FairnessMonitor",
+    "GroupShiftStatus",
     "PredictionService",
     "ServiceStats",
     "describe_artifact",

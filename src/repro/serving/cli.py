@@ -37,8 +37,12 @@ from repro.serving.monitor import FairnessMonitor
 from repro.serving.service import PredictionService
 
 
-def _parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
-    """Parse repeatable ``--param key=value`` options (values parsed as JSON)."""
+def parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
+    """Parse repeatable ``--param key=value`` options (values parsed as JSON).
+
+    Shared with ``repro-simulate``, whose ``--param`` / ``--scenario-param``
+    options follow the same convention.
+    """
     params: Dict[str, object] = {}
     for pair in pairs or []:
         key, separator, raw = pair.partition("=")
@@ -60,13 +64,18 @@ def _load_split(args) -> Tuple[object, object]:
     return dataset, split_dataset(dataset, random_state=args.seed)
 
 
-def _emit(payload: Dict[str, object]) -> None:
+def emit_json(payload: Dict[str, object]) -> None:
+    """Write one JSON document to stdout (every CLI's single output shape)."""
     json.dump(payload, sys.stdout, indent=2, default=str)
     sys.stdout.write("\n")
 
 
-def _find_profile(loaded) -> Optional[object]:
-    """Best-effort partition profile for drift monitoring, wherever it lives."""
+def find_profile(loaded) -> Optional[object]:
+    """Best-effort partition profile for drift monitoring, wherever it lives.
+
+    Shared with ``repro-simulate``, which builds monitors from the same
+    artifacts this CLI saves.
+    """
     candidates = [loaded]
     if isinstance(loaded, PipelineResult):
         candidates = [loaded.model.predictor, loaded.intervention, loaded.model]
@@ -91,7 +100,7 @@ def cmd_fit(args) -> int:
         dataset=args.dataset,
         size_factor=args.size_factor,
         seed=args.seed,
-        intervention_params=_parse_params(args.param),
+        intervention_params=parse_params(args.param),
     )
     result = pipeline.run()
     payload: Dict[str, object] = {
@@ -116,7 +125,7 @@ def cmd_fit(args) -> int:
             },
         )
         payload["artifact"] = args.out
-    _emit(payload)
+    emit_json(payload)
     return 0
 
 
@@ -132,7 +141,7 @@ def cmd_save(args) -> int:
             "source": args.source,
         },
     )
-    _emit({"artifact": args.out, "kind": describe_artifact(args.out)["kind"]})
+    emit_json({"artifact": args.out, "kind": describe_artifact(args.out)["kind"]})
     return 0
 
 
@@ -149,7 +158,7 @@ def cmd_score(args) -> int:
         report = evaluate_predictions(deploy.y, predictions, deploy.group)
     else:
         report = service.score(deploy.X, deploy.y, group)
-    _emit(
+    emit_json(
         {
             "artifact": args.artifact,
             "dataset": args.dataset,
@@ -163,7 +172,7 @@ def cmd_score(args) -> int:
 def cmd_serve(args) -> int:
     loaded = load_artifact(args.artifact)
     monitor = FairnessMonitor(
-        window_size=args.window, profile=_find_profile(loaded)
+        window_size=args.window, profile=find_profile(loaded)
     )
     service = PredictionService(
         loaded,
@@ -200,7 +209,7 @@ def cmd_serve(args) -> int:
             payload["windowed_report"] = monitor.windowed_report().to_dict()
         except ReproError:
             pass
-    _emit(payload)
+    emit_json(payload)
     return 0
 
 

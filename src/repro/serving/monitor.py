@@ -23,14 +23,29 @@ both halves of that framing for a live service:
   per-row work on the serving hot path) and the windowed mean log-density is
   compared against the fit-time baseline: traffic sliding into low-density
   regions of the training distribution is the soft, early version of the
-  conformance signal.
+  conformance signal;
+* **group-prevalence drift** (optional) — a prevalence shift moves the group
+  *mix* of the traffic while every individual tuple stays perfectly
+  conformant, so neither per-tuple channel can see it; once
+  :meth:`FairnessMonitor.set_group_baseline` fixes the training-time minority
+  fraction, the windowed minority fraction is compared against it and
+  :meth:`FairnessMonitor.group_status` flags mixes that moved beyond the
+  tolerance.
+
+The monitor is **checkpointable**: it is a
+:class:`~repro.learners.base.BaseEstimator` with a ``state_dict`` /
+``load_state_dict`` pair covering the full sliding window (retained chunks,
+window aggregates, baselines), and it is registered with
+:func:`repro.serving.artifacts.register_serializable` — a long replay can be
+paused into an artifact and resumed with bit-identical windowed reports and
+alarm decisions.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +58,7 @@ from repro.fairness.streaming import (
     fold_disparate_impact,
     report_from_counts,
 )
+from repro.learners.base import BaseEstimator
 
 LOG_DENSITY_FLOOR = -700.0
 """Clamp for ``-inf`` log-densities (zero density under a compact kernel):
@@ -83,8 +99,25 @@ class DensityDriftStatus:
     alarm: bool
 
 
-class FairnessMonitor:
-    """Sliding-window fairness metrics plus conformance/density drift alarms.
+@dataclass(frozen=True)
+class GroupShiftStatus:
+    """Snapshot of the group-prevalence drift signal.
+
+    ``shift`` is the absolute difference between the windowed minority
+    fraction and the baseline fraction; ``alarm`` fires once enough
+    group-carrying samples are in the window and the shift exceeds the
+    configured ``group_tolerance``.
+    """
+
+    n_scored: int
+    minority_fraction: float
+    baseline_fraction: Optional[float]
+    shift: Optional[float]
+    alarm: bool
+
+
+class FairnessMonitor(BaseEstimator):
+    """Sliding-window fairness metrics plus conformance/density/group drift alarms.
 
     Parameters
     ----------
@@ -118,6 +151,10 @@ class FairnessMonitor:
     density_drop:
         Density-drift alarm threshold: the windowed mean log-density must
         fall this many nats below the baseline.
+    group_tolerance:
+        Group-prevalence alarm threshold: the windowed minority fraction must
+        move this far (absolute) from the baseline fraction fixed by
+        :meth:`set_group_baseline`.
     """
 
     def __init__(
@@ -131,6 +168,7 @@ class FairnessMonitor:
         min_violation: float = 0.05,
         min_samples: int = 50,
         density_drop: float = 1.0,
+        group_tolerance: float = 0.15,
     ) -> None:
         if window_size < 1:
             raise ValidationError("window_size must be at least 1")
@@ -138,6 +176,8 @@ class FairnessMonitor:
             raise ValidationError("drift_factor must be positive")
         if density_drop <= 0:
             raise ValidationError("density_drop must be positive")
+        if not 0.0 < group_tolerance <= 1.0:
+            raise ValidationError("group_tolerance must be in (0, 1]")
         if density_estimator is not None and not hasattr(density_estimator, "training_data_"):
             raise ValidationError(
                 "density_estimator must be a fitted KernelDensity (call fit() first)"
@@ -150,6 +190,7 @@ class FairnessMonitor:
         self.min_violation = float(min_violation)
         self.min_samples = int(min_samples)
         self.density_drop = float(density_drop)
+        self.group_tolerance = float(group_tolerance)
 
         # Per retained batch: (counts, batch size, violation sum, violation
         # rows, log-density sum, log-density rows).
@@ -162,6 +203,7 @@ class FairnessMonitor:
         self._log_density_rows = 0
         self._baseline_violation: Optional[float] = None
         self._baseline_log_density: Optional[float] = None
+        self._baseline_group_fraction: Optional[float] = None
         self.n_seen = 0
 
     # ----------------------------------------------------------- updating
@@ -273,16 +315,46 @@ class FairnessMonitor:
         return np.maximum(scores, LOG_DENSITY_FLOOR)
 
     def set_drift_baseline(self, X) -> float:
-        """Fix the reference mean violation (typically on fit-time data)."""
-        baseline = float(self.violation_scores(X).mean())
+        """Fix the reference mean violation.
+
+        ``X`` is typically the fit-time feature matrix; a scalar is accepted
+        as a precomputed baseline (so suite runners can score the training
+        data once and share the number across many fresh monitors).
+        """
+        if np.isscalar(X):
+            baseline = float(X)
+        else:
+            baseline = float(self.violation_scores(X).mean())
         self._baseline_violation = baseline
         return baseline
 
     def set_density_baseline(self, X) -> float:
-        """Fix the reference mean log-density (typically on fit-time data)."""
-        baseline = float(self.log_density_scores(X).mean())
+        """Fix the reference mean log-density (fit-time data, or a scalar)."""
+        if np.isscalar(X):
+            baseline = float(X)
+        else:
+            baseline = float(self.log_density_scores(X).mean())
         self._baseline_log_density = baseline
         return baseline
+
+    def set_group_baseline(self, group_or_fraction) -> float:
+        """Fix the reference minority fraction (an array of 0/1 or a float)."""
+        if np.isscalar(group_or_fraction):
+            baseline = float(group_or_fraction)
+        else:
+            group = np.asarray(group_or_fraction).ravel()
+            if group.size == 0:
+                raise ValidationError("group baseline needs at least one row")
+            baseline = float(np.mean(group == 1))
+        if not 0.0 <= baseline <= 1.0:
+            raise ValidationError("the baseline minority fraction must be in [0, 1]")
+        self._baseline_group_fraction = baseline
+        return baseline
+
+    @property
+    def group_baseline_fraction(self) -> Optional[float]:
+        """The fixed baseline minority fraction (``None`` until set)."""
+        return self._baseline_group_fraction
 
     def drift_status(self) -> DriftStatus:
         """Current state of the conformance-drift alarm."""
@@ -309,6 +381,22 @@ class FairnessMonitor:
         drop = baseline - mean
         alarm = n >= self.min_samples and drop > self.density_drop
         return DensityDriftStatus(n, mean, baseline, drop, alarm)
+
+    def group_status(self) -> GroupShiftStatus:
+        """Current state of the group-prevalence drift signal.
+
+        Only rows that carried group membership count (``n_scored``); the
+        windowed minority fraction is their exact count ratio.
+        """
+        counts = self._window_counts
+        n = counts.group_n(0) + counts.group_n(1)
+        fraction = counts.group_n(1) / n if n else 0.0
+        baseline = self._baseline_group_fraction
+        if baseline is None:
+            return GroupShiftStatus(n, fraction, None, None, False)
+        shift = abs(fraction - baseline)
+        alarm = n >= self.min_samples and shift > self.group_tolerance
+        return GroupShiftStatus(n, fraction, baseline, shift, alarm)
 
     # ------------------------------------------------------------ reports
     @property
@@ -350,4 +438,121 @@ class FairnessMonitor:
                 "baseline_log_density": density.baseline_log_density,
                 "alarm": density.alarm,
             }
+        if self._baseline_group_fraction is not None:
+            group = self.group_status()
+            out["group"] = {
+                "n_scored": group.n_scored,
+                "minority_fraction": group.minority_fraction,
+                "baseline_fraction": group.baseline_fraction,
+                "alarm": group.alarm,
+            }
         return out
+
+    # ------------------------------------------------------- checkpointing
+    _state_attributes = (
+        "n_seen_",
+        "window_counts_",
+        "window_rows_",
+        "violation_sum_",
+        "violation_rows_",
+        "log_density_sum_",
+        "log_density_rows_",
+        "baseline_violation_",
+        "baseline_log_density_",
+        "baseline_group_fraction_",
+        "chunk_counts_",
+        "chunk_rows_",
+        "chunk_sums_",
+    )
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Pack the full sliding window into flat, artifact-storable state.
+
+        The window *aggregates* are persisted verbatim rather than recomputed
+        from the retained chunks on load: the float sums carry the exact
+        add/subtract history of the original monitor, and re-summing the
+        chunks could differ in the last ulp — persisting them is what makes a
+        pause/resume cycle bit-identical to an uninterrupted run.
+        """
+        chunks = list(self._chunks)
+        return {
+            "n_seen_": self.n_seen,
+            "window_counts_": self._window_counts.counts.copy(),
+            "window_rows_": self._window_rows,
+            "violation_sum_": self._violation_sum,
+            "violation_rows_": self._violation_rows,
+            "log_density_sum_": self._log_density_sum,
+            "log_density_rows_": self._log_density_rows,
+            "baseline_violation_": self._baseline_violation,
+            "baseline_log_density_": self._baseline_log_density,
+            "baseline_group_fraction_": self._baseline_group_fraction,
+            "chunk_counts_": (
+                np.stack([counts.counts for counts, *_ in chunks])
+                if chunks
+                else np.zeros((0, 2, 6), dtype=np.int64)
+            ),
+            "chunk_rows_": np.array(
+                [[size, scored, density_scored] for _, size, _, scored, _, density_scored in chunks],
+                dtype=np.int64,
+            ).reshape(len(chunks), 3),
+            "chunk_sums_": np.array(
+                [
+                    [violation_sum, density_sum]
+                    for _, _, violation_sum, _, density_sum, _ in chunks
+                ],
+                dtype=np.float64,
+            ).reshape(len(chunks), 2),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> "FairnessMonitor":
+        """Restore a window packed by :meth:`state_dict` and return ``self``.
+
+        Unlike the flat-attribute base behaviour, the window state is one
+        all-or-nothing snapshot: unknown *and* missing entries are both
+        rejected.
+        """
+        unknown = sorted(set(state) - set(self._state_attributes))
+        missing = sorted(set(self._state_attributes) - set(state))
+        if unknown or missing:
+            problems = [
+                f"unexpected entries: {', '.join(map(repr, unknown))}" if unknown else "",
+                f"missing entries: {', '.join(map(repr, missing))}" if missing else "",
+            ]
+            raise ValidationError(
+                "FairnessMonitor state does not match its declared attributes "
+                f"({'; '.join(p for p in problems if p)}); accepted state "
+                f"attributes: {self._state_attributes}"
+            )
+        chunk_counts = np.asarray(state["chunk_counts_"], dtype=np.int64)
+        chunk_rows = np.asarray(state["chunk_rows_"], dtype=np.int64)
+        chunk_sums = np.asarray(state["chunk_sums_"], dtype=np.float64)
+        if not (len(chunk_counts) == len(chunk_rows) == len(chunk_sums)):
+            raise ValidationError("FairnessMonitor chunk state arrays disagree in length")
+        self._chunks = deque(
+            (
+                StreamCounts(chunk_counts[i].copy()),
+                int(chunk_rows[i, 0]),
+                float(chunk_sums[i, 0]),
+                int(chunk_rows[i, 1]),
+                float(chunk_sums[i, 1]),
+                int(chunk_rows[i, 2]),
+            )
+            for i in range(len(chunk_counts))
+        )
+        self._window_counts = StreamCounts(
+            np.asarray(state["window_counts_"], dtype=np.int64).copy()
+        )
+        self._window_rows = int(state["window_rows_"])
+        self._violation_sum = float(state["violation_sum_"])
+        self._violation_rows = int(state["violation_rows_"])
+        self._log_density_sum = float(state["log_density_sum_"])
+        self._log_density_rows = int(state["log_density_rows_"])
+        for attribute, key in (
+            ("_baseline_violation", "baseline_violation_"),
+            ("_baseline_log_density", "baseline_log_density_"),
+            ("_baseline_group_fraction", "baseline_group_fraction_"),
+        ):
+            value = state[key]
+            setattr(self, attribute, None if value is None else float(value))
+        self.n_seen = int(state["n_seen_"])
+        return self

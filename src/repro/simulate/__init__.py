@@ -1,0 +1,108 @@
+"""Scenario engine: drift/traffic simulation and serving replay.
+
+The paper's premise is that fairness interventions must stay fair *in
+deployment*, where traffic drifts.  This subpackage generates exactly the
+traffic the serving monitors exist to catch and scores how fast they catch
+it:
+
+* :mod:`repro.simulate.base` — the :class:`Scenario` protocol and the
+  :class:`TrafficBatch` container (scenarios declare their own drift ground
+  truth, stamped on every batch);
+* :mod:`repro.simulate.registry` — ``@register_scenario`` /
+  :func:`make_scenario`, mirroring the interventions registry;
+* :mod:`repro.simulate.scenarios` — the built-in library: covariate / label /
+  group-prevalence shifts, seasonal mixtures, burst and ramp arrival
+  patterns, prediction feedback loops, and the :class:`Compose` /
+  :class:`Schedule` combinators;
+* :mod:`repro.simulate.stream` — :class:`TrafficStream`, turning any
+  :class:`~repro.datasets.Dataset` into batched, seed-deterministic traffic
+  (same integer seed ⇒ bit-identical batches, hypothesis-tested);
+* :mod:`repro.simulate.replay` — :class:`ReplayHarness`, driving a
+  :class:`~repro.serving.PredictionService` + monitor over a stream and
+  scoring detection latency, false-alarm rate, windowed fairness
+  degradation, and throughput;
+* :mod:`repro.simulate.suites` — named scenario suites and the
+  :class:`SuiteRunner` that replays them with shared baselines;
+* :mod:`repro.simulate.cli` — the ``repro-simulate`` command
+  (``list`` / ``run`` / ``suite``), also ``python -m repro.simulate``.
+
+Quickstart::
+
+    from repro import FairnessPipeline, load_dataset, split_dataset
+    from repro.serving import FairnessMonitor, PredictionService
+    from repro.simulate import ReplayHarness, TrafficStream, make_scenario
+
+    result = FairnessPipeline("confair", dataset="meps", seed=7).run()
+    data = load_dataset("meps", size_factor=0.05, random_state=7)
+    split = split_dataset(data, random_state=7)
+
+    monitor = FairnessMonitor(window_size=2000)
+    monitor.set_group_baseline(split.train.group)
+    service = PredictionService(result.model, monitor=monitor)
+
+    stream = TrafficStream(split.deploy, make_scenario("group_shift"),
+                           n_steps=40, batch_size=128, random_state=7)
+    outcome = ReplayHarness(service).replay(stream)
+    print(outcome.detected, outcome.detection_latency_steps,
+          outcome.false_alarm_rate, outcome.records_per_second)
+"""
+
+from repro.simulate.base import Scenario, TrafficBatch, shift_intensity
+from repro.simulate.registry import (
+    available_scenarios,
+    describe_scenarios,
+    get_scenario_spec,
+    make_scenario,
+    register_scenario,
+)
+from repro.simulate.scenarios import (
+    Burst,
+    Compose,
+    CovariateShift,
+    FeedbackLoop,
+    GroupPrevalenceShift,
+    LabelShift,
+    RampTraffic,
+    Schedule,
+    SeasonalMixture,
+    StationaryTraffic,
+)
+from repro.simulate.stream import TrafficStream
+from repro.simulate.replay import ReplayHarness, ReplayResult, StepRecord
+from repro.simulate.suites import (
+    SCENARIO_SUITES,
+    SuiteRunner,
+    available_suites,
+    build_scenario,
+    make_suite,
+)
+
+__all__ = [
+    "Burst",
+    "Compose",
+    "CovariateShift",
+    "FeedbackLoop",
+    "GroupPrevalenceShift",
+    "LabelShift",
+    "RampTraffic",
+    "ReplayHarness",
+    "ReplayResult",
+    "SCENARIO_SUITES",
+    "Scenario",
+    "Schedule",
+    "SeasonalMixture",
+    "StationaryTraffic",
+    "StepRecord",
+    "SuiteRunner",
+    "TrafficBatch",
+    "TrafficStream",
+    "available_scenarios",
+    "available_suites",
+    "build_scenario",
+    "describe_scenarios",
+    "get_scenario_spec",
+    "make_scenario",
+    "make_suite",
+    "register_scenario",
+    "shift_intensity",
+]

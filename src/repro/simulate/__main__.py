@@ -1,0 +1,10 @@
+"""``python -m repro.simulate`` — command-line entry to the scenario engine.
+
+Thin alias for :mod:`repro.simulate.cli` (the ``repro-simulate`` console
+script), mirroring ``python -m repro.serve``.
+"""
+
+from repro.simulate.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""The ``Scenario`` protocol and the :class:`TrafficBatch` container.
+
+A *scenario* is a composable, seed-deterministic transformation of serving
+traffic.  The stream generator (:mod:`repro.simulate.stream`) walks a
+timeline ``t ∈ [0, 1]`` in discrete steps and, at every step, asks the
+scenario three questions:
+
+1. **how much traffic arrives** — :meth:`Scenario.batch_rows` scales the base
+   batch size (burst and ramp arrival patterns live here);
+2. **which tuples arrive** — :meth:`Scenario.sample_weights` biases the draw
+   from the source dataset (prevalence shifts: group mix, label mix,
+   seasonal mixtures, feedback loops);
+3. **what happens to the tuples** — :meth:`Scenario.transform_batch` edits the
+   drawn rows (covariate shift).
+
+Scenarios additionally *declare their own ground truth*:
+:meth:`Scenario.is_drifted` says whether the traffic at time ``t`` deviates
+from the training distribution, and the stream stamps that verdict onto every
+:class:`TrafficBatch` — which is what lets the replay harness score detection
+latency and false alarms without a second source of truth.
+
+Scenarios are :class:`~repro.learners.base.BaseEstimator` subclasses, so
+``get_params`` / ``set_params`` / ``clone`` / ``repr`` follow the same
+conventions as interventions and learners, and the registry
+(:mod:`repro.simulate.registry`) mirrors the interventions registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.table import Dataset
+from repro.exceptions import SimulationError
+from repro.learners.base import BaseEstimator, clone as clone_estimator
+
+
+@dataclass(frozen=True)
+class TrafficBatch:
+    """One step of simulated serving traffic.
+
+    Attributes
+    ----------
+    X, y, group:
+        The served rows — features, (delayed) ground-truth labels, and audit
+        group membership.  ``y`` and ``group`` are simulation-side
+        information: a group-blind service never shows them to the model,
+        the replay harness feeds them to the monitor.
+    step:
+        0-based step index within the stream.
+    t:
+        Timeline position in ``[0, 1]``.
+    drifted:
+        Scenario-declared ground truth: whether this batch was drawn from a
+        distribution that deviates from the training one.  Detection-latency
+        and false-alarm scoring compare monitor alarms against this flag.
+    n_numeric_features:
+        How many leading feature columns are numeric (inherited from the
+        source dataset; what covariate-shift transforms may edit).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    group: np.ndarray
+    step: int
+    t: float
+    drifted: bool
+    n_numeric_features: int
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.X.shape[0])
+
+    def replace(self, **changes) -> "TrafficBatch":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def shift_intensity(t: float, onset: float, ramp: float) -> float:
+    """Shared onset/ramp envelope: 0 before ``onset``, 1 after ``onset + ramp``.
+
+    Between the two the intensity rises linearly, so scenarios can model both
+    abrupt shifts (``ramp == 0``) and gradual ones with one convention.
+    """
+    if t < onset:
+        return 0.0
+    if ramp <= 0.0 or t >= onset + ramp:
+        return 1.0
+    return (t - onset) / ramp
+
+
+class Scenario(BaseEstimator):
+    """Abstract base for traffic scenarios.
+
+    Subclasses override any subset of the four hooks below; the defaults are
+    all identity, so the base class itself is the stationary control
+    scenario.  Construction follows the estimator convention (keyword
+    hyper-parameters stored verbatim on ``self``), which is what makes
+    ``get_params`` / ``set_params`` / :meth:`clone` / ``repr`` work without
+    per-class code.
+
+    Scenarios carrying *episode state* (the feedback loop) keep it in
+    underscore-prefixed attributes and reset it in :meth:`reset`; the stream
+    generator calls ``reset`` at the start of every iteration, which is what
+    makes replays of the same seed bit-identical.
+    """
+
+    # ------------------------------------------------------------- hooks
+    def batch_rows(self, t: float, base_rows: int, rng: np.random.Generator) -> int:
+        """Rows arriving at time ``t`` given the stream's base batch size."""
+        return int(base_rows)
+
+    def sample_weights(self, dataset: Dataset, t: float) -> Optional[np.ndarray]:
+        """Per-row sampling weights over the source dataset (``None`` = uniform)."""
+        return None
+
+    def transform_batch(self, batch: TrafficBatch, rng: np.random.Generator) -> TrafficBatch:
+        """Edit the drawn rows (covariate transforms); identity by default."""
+        return batch
+
+    def is_drifted(self, t: float) -> bool:
+        """Ground truth: does traffic at ``t`` deviate from the training data?"""
+        return False
+
+    # ------------------------------------------------------ episode state
+    def reset(self) -> None:
+        """Clear episode state before a (re)play; identity for stateless scenarios."""
+
+    def observe(self, batch: TrafficBatch, predictions: np.ndarray) -> None:
+        """Feed served predictions back into the scenario (feedback loops)."""
+
+    # ----------------------------------------------------------- plumbing
+    def clone(self) -> "Scenario":
+        """Return a fresh copy with identical hyper-parameters and no episode state."""
+        duplicate = clone_estimator(self)
+        duplicate.reset()
+        return duplicate
+
+    @staticmethod
+    def _check_unit_interval(name: str, value: float, *, allow_one: bool = True) -> float:
+        value = float(value)
+        upper_ok = value <= 1.0 if allow_one else value < 1.0
+        if not (0.0 <= value and upper_ok):
+            raise SimulationError(
+                f"{name} must be in [0, 1{']' if allow_one else ')'}; got {value!r}"
+            )
+        return value

@@ -1,0 +1,266 @@
+"""Command-line front end: scenario simulation and serving replay.
+
+Three subcommands wire the simulation subsystem end to end::
+
+    repro-simulate list
+    repro-simulate run   --scenario group_shift --dataset meps
+    repro-simulate suite --suite default --dataset meps
+
+``run`` replays one named scenario against a monitored
+:class:`~repro.serving.PredictionService` and emits the scored
+:class:`~repro.simulate.replay.ReplayResult` as JSON (detection latency,
+false-alarm rate, windowed fairness degradation, throughput); ``suite``
+replays every scenario of a named suite and emits one row per scenario.
+Both always drive the service **from a saved artifact**: pass ``--artifact``
+to use one produced by ``repro-serve fit``, or omit it and the command fits a
+pipeline, saves the artifact (to ``--out`` or a temporary directory), and
+loads it back before a single record is served.
+
+Also available as ``python -m repro.simulate``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List, Optional
+
+from repro.datasets import available_datasets, load_dataset, split_dataset
+from repro.density.kde import KernelDensity
+from repro.exceptions import ReproError
+from repro.interventions import FairnessPipeline, available_interventions
+from repro.serving.artifacts import load_artifact, save_artifact
+from repro.serving.cli import emit_json, find_profile, parse_params
+from repro.simulate.registry import available_scenarios, describe_scenarios, make_scenario
+from repro.simulate.suites import SuiteRunner, available_suites
+
+
+def _prepare(args) -> tuple:
+    """Resolve (artifact path, loaded model, split) for a replay command.
+
+    Without ``--artifact`` the pipeline is fitted here, saved, and *loaded
+    back* — every replay is driven from a saved artifact, never from the
+    in-memory fit.
+    """
+    if args.artifact:
+        artifact = args.artifact
+    else:
+        target = args.out or tempfile.mkdtemp(prefix="repro-simulate-")
+        result = FairnessPipeline(
+            intervention=args.intervention,
+            learner=args.learner,
+            dataset=args.dataset,
+            size_factor=args.size_factor,
+            seed=args.seed,
+            intervention_params=parse_params(args.param),
+        ).run()
+        artifact = str(
+            save_artifact(
+                result,
+                target,
+                metadata={
+                    "command": "simulate",
+                    "dataset": args.dataset,
+                    "intervention": args.intervention,
+                    "learner": args.learner,
+                    "seed": args.seed,
+                    "size_factor": args.size_factor,
+                },
+            )
+        )
+    loaded = load_artifact(artifact)
+    dataset = load_dataset(args.dataset, size_factor=args.size_factor, random_state=args.seed)
+    split = split_dataset(dataset, random_state=args.seed)
+    return artifact, loaded, split
+
+
+def _make_runner(args, loaded, split) -> SuiteRunner:
+    density_estimator = None
+    if args.density:
+        density_estimator = KernelDensity(bandwidth="scott", kernel="gaussian").fit(
+            split.train.numeric_X
+        )
+    return SuiteRunner(
+        loaded,
+        split.train,
+        profile=find_profile(loaded),
+        density_estimator=density_estimator,
+        calibration=split.validation,
+        window_size=args.window,
+        group_tolerance=args.group_tolerance,
+        service_batch_size=args.batch_size,
+        max_workers=args.workers,
+    )
+
+
+# ---------------------------------------------------------------- commands
+def cmd_list(args) -> int:
+    emit_json({"scenarios": describe_scenarios(), "suites": available_suites()})
+    return 0
+
+
+def cmd_run(args) -> int:
+    artifact, loaded, split = _prepare(args)
+    runner = _make_runner(args, loaded, split)
+    scenario = make_scenario(args.scenario, **parse_params(args.scenario_param))
+    result = runner.replay_scenario(
+        scenario,
+        split.deploy,
+        label=args.scenario,
+        n_steps=args.steps,
+        batch_size=args.stream_batch,
+        seed=args.seed,
+    )
+    emit_json(
+        {
+            "artifact": artifact,
+            "dataset": args.dataset,
+            "scenario": repr(scenario),
+            "result": result.to_dict(include_steps=args.trace),
+        }
+    )
+    return 0
+
+
+def cmd_suite(args) -> int:
+    artifact, loaded, split = _prepare(args)
+    runner = _make_runner(args, loaded, split)
+    results = runner.run(
+        args.suite,
+        split.deploy,
+        n_steps=args.steps,
+        batch_size=args.stream_batch,
+        seed=args.seed,
+    )
+    emit_json(
+        {
+            "artifact": artifact,
+            "dataset": args.dataset,
+            "suite": args.suite,
+            "results": {
+                label: result.to_dict(include_steps=args.trace)
+                for label, result in results
+            },
+        }
+    )
+    return 0
+
+
+# ------------------------------------------------------------------ parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description="Simulate drifting/bursty traffic and replay it through a monitored service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    listing = sub.add_parser("list", help="list registered scenarios and suites")
+    listing.set_defaults(func=cmd_list)
+
+    def add_replay_options(p) -> None:
+        p.add_argument(
+            "--dataset",
+            default="meps",
+            help=f"benchmark name (one of {', '.join(available_datasets())})",
+        )
+        p.add_argument("--seed", type=int, default=7, help="dataset/split/stream seed")
+        p.add_argument(
+            "--size-factor",
+            type=float,
+            default=0.05,
+            help="fraction of the published dataset size to generate",
+        )
+        p.add_argument(
+            "--artifact",
+            help="artifact directory saved by repro-serve fit (omit to fit one now)",
+        )
+        p.add_argument(
+            "--out",
+            help="where to save the freshly fitted artifact (default: a temp directory)",
+        )
+        p.add_argument(
+            "--intervention",
+            default="confair",
+            help=f"intervention to fit when no artifact is given "
+            f"(one of {', '.join(available_interventions())})",
+        )
+        p.add_argument("--learner", default="lr", help="final-model learner name")
+        p.add_argument(
+            "--param",
+            action="append",
+            metavar="KEY=VALUE",
+            help="extra intervention constructor parameter (repeatable; JSON value)",
+        )
+        p.add_argument("--steps", type=int, default=40, help="stream steps on the timeline")
+        p.add_argument(
+            "--stream-batch", type=int, default=128, help="base rows per stream step"
+        )
+        p.add_argument("--window", type=int, default=2000, help="monitor window size")
+        p.add_argument(
+            "--group-tolerance",
+            type=float,
+            default=0.15,
+            help="group-prevalence alarm tolerance (absolute fraction)",
+        )
+        p.add_argument("--batch-size", type=int, default=512, help="service micro-batch size")
+        p.add_argument("--workers", type=int, default=None, help="service thread-pool width")
+        density = p.add_mutually_exclusive_group()
+        density.add_argument(
+            "--density",
+            dest="density",
+            action="store_true",
+            default=True,
+            help="enable the density-drift channel (default)",
+        )
+        density.add_argument(
+            "--no-density",
+            dest="density",
+            action="store_false",
+            help="disable the density-drift channel",
+        )
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="include the full per-step trace in the JSON report",
+        )
+
+    run = sub.add_parser("run", help="replay one scenario and score the monitor")
+    add_replay_options(run)
+    run.add_argument(
+        "--scenario",
+        default="group_shift",
+        help=f"scenario name (one of {', '.join(available_scenarios())})",
+    )
+    run.add_argument(
+        "--scenario-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="scenario constructor parameter (repeatable; value parsed as JSON)",
+    )
+    run.set_defaults(func=cmd_run)
+
+    suite = sub.add_parser("suite", help="replay every scenario of a named suite")
+    add_replay_options(suite)
+    suite.add_argument(
+        "--suite",
+        default="default",
+        help=f"suite name (one of {', '.join(available_suites())})",
+    )
+    suite.set_defaults(func=cmd_suite)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``repro-simulate`` console script)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Decorator-driven registry of traffic scenarios.
+
+Mirrors the interventions registry: scenarios register themselves by name::
+
+    @register_scenario("group_shift", summary="minority prevalence shift")
+    class GroupPrevalenceShift(Scenario):
+        ...
+
+and callers resolve names through :func:`make_scenario`, which validates
+keyword arguments against the scenario's constructor signature and raises
+:class:`~repro.exceptions.SimulationError` — naming the offending parameter
+and listing the accepted ones — instead of silently dropping inapplicable
+options.  One class may register under several names with different preset
+defaults (that is how named scenario variants share an implementation).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Type
+
+from repro.exceptions import SimulationError
+from repro.simulate.base import Scenario
+
+_REGISTRY: Dict[str, "ScenarioSpec"] = {}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registry entry: the scenario class plus name-specific presets."""
+
+    name: str
+    cls: Type[Scenario]
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    summary: str = ""
+
+    def accepted_params(self) -> Tuple[str, ...]:
+        """Constructor parameter names the scenario accepts."""
+        signature = inspect.signature(self.cls.__init__)
+        return tuple(
+            name
+            for name, param in signature.parameters.items()
+            if name != "self" and param.kind not in (param.VAR_POSITIONAL, param.VAR_KEYWORD)
+        )
+
+
+def register_scenario(
+    name: str,
+    *,
+    defaults: Optional[Mapping[str, object]] = None,
+    summary: str = "",
+) -> Callable[[Type[Scenario]], Type[Scenario]]:
+    """Class decorator registering a :class:`Scenario` under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Public scenario identifier (lower-case; what :func:`make_scenario`
+        resolves).
+    defaults:
+        Constructor presets applied for this name (user kwargs override
+        them); used to register preset variants of a shared class.
+    summary:
+        One-line description shown by :func:`describe_scenarios`.
+    """
+
+    def decorator(cls: Type[Scenario]) -> Type[Scenario]:
+        key = name.strip().lower()
+        if key in _REGISTRY:
+            raise SimulationError(f"Scenario {key!r} is already registered")
+        if not issubclass(cls, Scenario):
+            raise SimulationError(
+                f"@register_scenario target {cls.__name__} must subclass Scenario"
+            )
+        _REGISTRY[key] = ScenarioSpec(
+            name=key, cls=cls, defaults=dict(defaults or {}), summary=summary
+        )
+        return cls
+
+    return decorator
+
+
+def available_scenarios() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def describe_scenarios() -> Dict[str, str]:
+    """Mapping of registered name to its one-line summary."""
+    return {name: spec.summary for name, spec in _REGISTRY.items()}
+
+
+def get_scenario_spec(name: str) -> ScenarioSpec:
+    """Resolve ``name`` (case-insensitive) to its registry entry."""
+    key = name.strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise SimulationError(
+            f"Unknown scenario {name!r}; available scenarios: "
+            f"{tuple(available_scenarios())}"
+        ) from None
+
+
+def make_scenario(name: str, **kwargs) -> Scenario:
+    """Instantiate a registered scenario by name.
+
+    Keyword arguments are validated against the scenario's constructor:
+    unknown parameters raise :class:`~repro.exceptions.SimulationError`
+    naming the rejected option and the accepted ones.
+    """
+    spec = get_scenario_spec(name)
+    accepted = spec.accepted_params()
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        raise SimulationError(
+            f"Scenario {spec.name!r} does not accept parameter(s) "
+            f"{', '.join(repr(p) for p in unknown)}; accepted parameters: {accepted}"
+        )
+    params = dict(spec.defaults)
+    params.update(kwargs)
+    return spec.cls(**params)

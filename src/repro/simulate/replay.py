@@ -1,0 +1,263 @@
+"""Replay simulated traffic through a service and score the monitors.
+
+:class:`ReplayHarness` is the judge of the serving stack: it drives a
+:class:`~repro.serving.PredictionService` (with its attached
+:class:`~repro.serving.FairnessMonitor`) over a
+:class:`~repro.simulate.stream.TrafficStream` and scores how the monitor's
+alarm channels — conformance violation, density drift, group prevalence —
+respond to the scenario's *declared* ground truth:
+
+* **detection latency** — steps (and records) between the first drifted batch
+  and the first alarm at or after it;
+* **false-alarm rate** — alarms raised on clean batches *before any drift has
+  been injected* (post-drift clean batches are excluded: a sliding window
+  legitimately stays alarmed while drifted rows age out of it);
+* **windowed fairness degradation** — how far the windowed DI* falls from its
+  last pre-drift value once the drift is in effect;
+* **throughput** — records/second through the service for this replay.
+
+Every per-step observation is kept as a :class:`StepRecord`, so callers can
+plot or assert on the full trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.serving.service import PredictionService
+from repro.simulate.stream import TrafficStream
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One replayed step: ground truth, alarm state, windowed fairness."""
+
+    step: int
+    t: float
+    n_rows: int
+    drifted: bool
+    alarm: bool
+    channels: Tuple[str, ...]
+    di_star: Optional[float]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "step": self.step,
+            "t": round(self.t, 6),
+            "n_rows": self.n_rows,
+            "drifted": self.drifted,
+            "alarm": self.alarm,
+            "channels": list(self.channels),
+            "di_star": self.di_star,
+        }
+
+
+@dataclass
+class ReplayResult:
+    """Scored outcome of one scenario replay."""
+
+    scenario: str
+    dataset: str
+    n_steps: int
+    n_records: int
+    n_drifted_steps: int
+    first_drift_step: Optional[int]
+    detected: bool
+    detection_step: Optional[int]
+    detection_latency_steps: Optional[int]
+    detection_latency_records: Optional[int]
+    n_clean_steps: int
+    n_false_alarms: int
+    false_alarm_rate: float
+    baseline_di_star: Optional[float]
+    min_drift_di_star: Optional[float]
+    di_star_degradation: Optional[float]
+    records_per_second: float
+    channel_first_alarm: Dict[str, int] = field(default_factory=dict)
+    steps: List[StepRecord] = field(default_factory=list)
+
+    def to_dict(self, *, include_steps: bool = False) -> Dict[str, object]:
+        """JSON-ready view; pass ``include_steps=True`` for the full trace."""
+        out: Dict[str, object] = {
+            "scenario": self.scenario,
+            "dataset": self.dataset,
+            "n_steps": self.n_steps,
+            "n_records": self.n_records,
+            "n_drifted_steps": self.n_drifted_steps,
+            "first_drift_step": self.first_drift_step,
+            "detected": self.detected,
+            "detection_step": self.detection_step,
+            "detection_latency_steps": self.detection_latency_steps,
+            "detection_latency_records": self.detection_latency_records,
+            "n_clean_steps": self.n_clean_steps,
+            "n_false_alarms": self.n_false_alarms,
+            "false_alarm_rate": round(self.false_alarm_rate, 6),
+            "baseline_di_star": self.baseline_di_star,
+            "min_drift_di_star": self.min_drift_di_star,
+            "di_star_degradation": self.di_star_degradation,
+            "records_per_second": round(self.records_per_second, 1),
+            "channel_first_alarm": dict(self.channel_first_alarm),
+        }
+        if include_steps:
+            out["steps"] = [record.to_dict() for record in self.steps]
+        return out
+
+
+class ReplayHarness:
+    """Drive a monitored service over traffic streams and score detection.
+
+    Parameters
+    ----------
+    service:
+        A :class:`~repro.serving.PredictionService` with a
+        :class:`~repro.serving.FairnessMonitor` attached (the monitor is the
+        thing under test; a replay without one raises
+        :class:`~repro.exceptions.SimulationError`).
+    """
+
+    def __init__(self, service: PredictionService) -> None:
+        if service.monitor is None:
+            raise SimulationError(
+                "ReplayHarness needs a PredictionService with a FairnessMonitor "
+                "attached; construct the service with monitor="
+            )
+        self.service = service
+        self.monitor = service.monitor
+
+    # ----------------------------------------------------------- channels
+    def _alarm_channels(self) -> Tuple[str, ...]:
+        """Names of the monitor channels currently raising an alarm."""
+        monitor = self.monitor
+        channels = []
+        if monitor.profile is not None and monitor.drift_status().alarm:
+            channels.append("conformance")
+        if monitor.density_estimator is not None and monitor.density_status().alarm:
+            channels.append("density")
+        if monitor.group_baseline_fraction is not None and monitor.group_status().alarm:
+            channels.append("group")
+        return tuple(channels)
+
+    # ------------------------------------------------------------- replay
+    def replay(self, stream: TrafficStream, *, label: Optional[str] = None) -> ReplayResult:
+        """Serve every batch of ``stream`` and score the monitor's response."""
+        records_before = self.service.stats.n_records
+        start = time.perf_counter()
+
+        steps: List[StepRecord] = []
+        channel_first_alarm: Dict[str, int] = {}
+        for batch in stream:
+            predictions = self.service.predict(batch.X, batch.group, y_true=batch.y)
+            stream.observe(batch, predictions)
+            channels = self._alarm_channels()
+            for channel in channels:
+                channel_first_alarm.setdefault(channel, batch.step)
+            steps.append(
+                StepRecord(
+                    step=batch.step,
+                    t=batch.t,
+                    n_rows=batch.n_rows,
+                    drifted=batch.drifted,
+                    alarm=bool(channels),
+                    channels=channels,
+                    di_star=self.monitor.windowed_summary().get("di_star"),
+                )
+            )
+        elapsed = time.perf_counter() - start
+        n_records = self.service.stats.n_records - records_before
+
+        return self._score(
+            steps,
+            scenario=label if label is not None else type(stream.scenario).__name__,
+            dataset=stream.dataset.name,
+            n_records=n_records,
+            records_per_second=n_records / elapsed if elapsed > 0 else 0.0,
+            channel_first_alarm=channel_first_alarm,
+        )
+
+    # ------------------------------------------------------------ scoring
+    @staticmethod
+    def _score(
+        steps: List[StepRecord],
+        *,
+        scenario: str,
+        dataset: str,
+        n_records: int,
+        records_per_second: float,
+        channel_first_alarm: Dict[str, int],
+    ) -> ReplayResult:
+        drifted_steps = [record.step for record in steps if record.drifted]
+        first_drift = drifted_steps[0] if drifted_steps else None
+
+        detection_step: Optional[int] = None
+        if first_drift is not None:
+            for record in steps:
+                if record.step >= first_drift and record.alarm:
+                    detection_step = record.step
+                    break
+        latency_steps = (
+            detection_step - first_drift if detection_step is not None else None
+        )
+        latency_records = (
+            sum(
+                record.n_rows
+                for record in steps
+                if first_drift <= record.step <= detection_step
+            )
+            if detection_step is not None
+            else None
+        )
+
+        # Clean steps are the pre-drift prefix (the whole stream when no
+        # drift is ever injected); alarms there are false by construction.
+        clean = [
+            record
+            for record in steps
+            if not record.drifted and (first_drift is None or record.step < first_drift)
+        ]
+        false_alarms = sum(1 for record in clean if record.alarm)
+
+        pre_drift_di = [
+            record.di_star
+            for record in steps
+            if record.di_star is not None
+            and (first_drift is None or record.step < first_drift)
+        ]
+        drift_di = [
+            record.di_star
+            for record in steps
+            if record.di_star is not None
+            and first_drift is not None
+            and record.step >= first_drift
+        ]
+        baseline_di = pre_drift_di[-1] if pre_drift_di else None
+        min_drift_di = min(drift_di) if drift_di else None
+        degradation = (
+            baseline_di - min_drift_di
+            if baseline_di is not None and min_drift_di is not None
+            else None
+        )
+
+        return ReplayResult(
+            scenario=scenario,
+            dataset=dataset,
+            n_steps=len(steps),
+            n_records=n_records,
+            n_drifted_steps=len(drifted_steps),
+            first_drift_step=first_drift,
+            detected=detection_step is not None,
+            detection_step=detection_step,
+            detection_latency_steps=latency_steps,
+            detection_latency_records=latency_records,
+            n_clean_steps=len(clean),
+            n_false_alarms=false_alarms,
+            false_alarm_rate=false_alarms / len(clean) if clean else 0.0,
+            baseline_di_star=baseline_di,
+            min_drift_di_star=min_drift_di,
+            di_star_degradation=degradation,
+            records_per_second=records_per_second,
+            channel_first_alarm=channel_first_alarm,
+            steps=steps,
+        )

@@ -1,0 +1,464 @@
+"""The built-in scenario library: shifts, arrival patterns, combinators.
+
+Distribution shifts (drift the monitors exist to catch):
+
+* :class:`CovariateShift` — ``P(X)`` moves: a constant offset is added to the
+  numeric features after an onset (optionally ramped);
+* :class:`LabelShift` — ``P(y)`` moves: traffic is resampled toward a target
+  positive-label rate;
+* :class:`GroupPrevalenceShift` — ``P(group)`` moves: traffic is resampled
+  toward a target minority fraction (the paper's core drift axis: the group
+  mix of serving traffic slides away from the training mix);
+* :class:`SeasonalMixture` — the group mix oscillates sinusoidally;
+* :class:`FeedbackLoop` — served predictions feed back into arrivals: a
+  selection-rate gap between groups compounds into a drifting group mix.
+
+Arrival patterns (load, not distribution — false-alarm probes):
+
+* :class:`Burst` — a transient traffic spike;
+* :class:`RampTraffic` — linearly growing volume.
+
+Combinators:
+
+* :class:`Compose` — run several scenarios at once (sizes chained, sampling
+  weights multiplied, transforms applied in order);
+* :class:`Schedule` — sequence scenarios over the timeline, each seeing its
+  own rescaled local clock.
+
+Prevalence shifts share their weighting math with
+:func:`repro.datasets.synthetic.resample_dataset` through
+:func:`~repro.datasets.synthetic.prevalence_weights`, so the streaming and
+offline shift primitives cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import prevalence_weights
+from repro.datasets.table import Dataset
+from repro.exceptions import SimulationError
+from repro.simulate.base import Scenario, TrafficBatch, shift_intensity
+from repro.simulate.registry import register_scenario
+
+
+@register_scenario("none", summary="stationary control traffic (no drift)")
+class StationaryTraffic(Scenario):
+    """Uniform resampling of the source dataset: the no-shift control."""
+
+    def __init__(self) -> None:
+        pass
+
+
+@register_scenario("covariate_shift", summary="numeric features shift by a constant offset")
+@register_scenario(
+    "gradual_covariate_shift",
+    defaults={"onset": 0.3, "ramp": 0.5},
+    summary="covariate shift ramping in over half the timeline",
+)
+class CovariateShift(Scenario):
+    """Add ``magnitude`` to numeric features once the shift is in effect.
+
+    Parameters
+    ----------
+    magnitude:
+        Offset added at full intensity (features are typically min-max scaled
+        to [0, 1], so 0.5 is a drastic shift).
+    onset, ramp:
+        Envelope of the shift (see
+        :func:`~repro.simulate.base.shift_intensity`).
+    feature:
+        Index of the single numeric column to shift; ``None`` shifts every
+        numeric column.
+    """
+
+    def __init__(
+        self,
+        magnitude: float = 0.5,
+        onset: float = 0.5,
+        ramp: float = 0.0,
+        feature: Optional[int] = None,
+    ) -> None:
+        self.magnitude = float(magnitude)
+        self.onset = self._check_unit_interval("onset", onset)
+        self.ramp = self._check_unit_interval("ramp", ramp)
+        self.feature = feature
+
+    def transform_batch(self, batch: TrafficBatch, rng: np.random.Generator) -> TrafficBatch:
+        intensity = shift_intensity(batch.t, self.onset, self.ramp)
+        if intensity == 0.0 or self.magnitude == 0.0:
+            return batch
+        X = batch.X.copy()
+        if self.feature is None:
+            X[:, : batch.n_numeric_features] += self.magnitude * intensity
+        else:
+            if not 0 <= int(self.feature) < batch.n_numeric_features:
+                raise SimulationError(
+                    f"feature index {self.feature!r} is outside the "
+                    f"{batch.n_numeric_features} numeric columns"
+                )
+            X[:, int(self.feature)] += self.magnitude * intensity
+        return batch.replace(X=X)
+
+    def is_drifted(self, t: float) -> bool:
+        return self.magnitude != 0.0 and shift_intensity(t, self.onset, self.ramp) > 0.0
+
+
+@register_scenario("label_shift", summary="traffic resampled toward a target positive rate")
+class LabelShift(Scenario):
+    """Resample traffic so ``P(y = 1)`` moves toward ``target_positive_rate``."""
+
+    _MIN_EFFECTIVE_SHIFT = 1e-9
+    """Below this absolute prevalence change the traffic is declared clean."""
+
+    def __init__(
+        self,
+        target_positive_rate: float = 0.85,
+        onset: float = 0.5,
+        ramp: float = 0.0,
+    ) -> None:
+        self.target_positive_rate = self._check_unit_interval(
+            "target_positive_rate", target_positive_rate
+        )
+        self.onset = self._check_unit_interval("onset", onset)
+        self.ramp = self._check_unit_interval("ramp", ramp)
+        self._base_rate: Optional[float] = None
+
+    def reset(self) -> None:
+        self._base_rate = None
+
+    def sample_weights(self, dataset: Dataset, t: float) -> Optional[np.ndarray]:
+        current = dataset.positive_rate
+        self._base_rate = current
+        intensity = shift_intensity(t, self.onset, self.ramp)
+        if intensity == 0.0:
+            return None
+        target = current + (self.target_positive_rate - current) * intensity
+        return prevalence_weights(dataset.y, target)
+
+    def is_drifted(self, t: float) -> bool:
+        """Drifted once the envelope is active *and* a real shift is injected.
+
+        A target equal to the pool's own rate injects nothing (the weights
+        degenerate to uniform), so such configurations stay clean; the pool
+        rate is learned from the last ``sample_weights`` call and the
+        envelope alone decides before any pool has been seen.
+        """
+        intensity = shift_intensity(t, self.onset, self.ramp)
+        if intensity == 0.0:
+            return False
+        if self._base_rate is None:
+            return True
+        shift = abs(self.target_positive_rate - self._base_rate) * intensity
+        return shift > self._MIN_EFFECTIVE_SHIFT
+
+
+@register_scenario("group_shift", summary="traffic resampled toward a target minority fraction")
+@register_scenario(
+    "gradual_group_shift",
+    defaults={"onset": 0.3, "ramp": 0.5},
+    summary="group-prevalence shift ramping in over half the timeline",
+)
+class GroupPrevalenceShift(Scenario):
+    """Resample traffic so the minority fraction moves toward a target.
+
+    This is the paper's deployment hazard in its purest form: every tuple is
+    a genuine tuple of the source distribution, only the group *mix* drifts —
+    so per-tuple conformance stays clean and a monitor must watch the mix
+    itself (the serving monitor's group-prevalence channel) to notice.
+    """
+
+    _MIN_EFFECTIVE_SHIFT = 1e-9
+    """Below this absolute prevalence change the traffic is declared clean."""
+
+    def __init__(
+        self,
+        target_minority_fraction: float = 0.9,
+        onset: float = 0.5,
+        ramp: float = 0.0,
+    ) -> None:
+        self.target_minority_fraction = self._check_unit_interval(
+            "target_minority_fraction", target_minority_fraction
+        )
+        self.onset = self._check_unit_interval("onset", onset)
+        self.ramp = self._check_unit_interval("ramp", ramp)
+        self._base_fraction: Optional[float] = None
+
+    def reset(self) -> None:
+        self._base_fraction = None
+
+    def sample_weights(self, dataset: Dataset, t: float) -> Optional[np.ndarray]:
+        current = dataset.minority_fraction
+        self._base_fraction = current
+        intensity = shift_intensity(t, self.onset, self.ramp)
+        if intensity == 0.0:
+            return None
+        target = current + (self.target_minority_fraction - current) * intensity
+        return prevalence_weights(dataset.group, target)
+
+    def is_drifted(self, t: float) -> bool:
+        """Drifted once the envelope is active *and* a real shift is injected.
+
+        See :meth:`LabelShift.is_drifted`: a target equal to the pool's own
+        minority fraction injects nothing and stays clean.
+        """
+        intensity = shift_intensity(t, self.onset, self.ramp)
+        if intensity == 0.0:
+            return False
+        if self._base_fraction is None:
+            return True
+        shift = abs(self.target_minority_fraction - self._base_fraction) * intensity
+        return shift > self._MIN_EFFECTIVE_SHIFT
+
+
+@register_scenario("seasonal", summary="minority fraction oscillates sinusoidally")
+class SeasonalMixture(Scenario):
+    """Sinusoidal oscillation of the minority fraction around its base value.
+
+    The fraction at time ``t`` is ``base + amplitude * sin(2π t / period)``
+    (clipped into (0, 1)).  Ground truth marks the peaks: a step counts as
+    drifted while the deviation exceeds half the amplitude.
+    """
+
+    _FRACTION_FLOOR = 0.02
+    _FRACTION_CEIL = 0.98
+
+    def __init__(self, amplitude: float = 0.2, period: float = 0.5) -> None:
+        self.amplitude = self._check_unit_interval("amplitude", amplitude)
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        self.period = float(period)
+        self._base_fraction: Optional[float] = None
+
+    def reset(self) -> None:
+        self._base_fraction = None
+
+    def _offset(self, t: float) -> float:
+        return self.amplitude * math.sin(2.0 * math.pi * t / self.period)
+
+    def _effective_offset(self, t: float) -> float:
+        """The prevalence change actually injected, after the (0, 1) clamp.
+
+        On pools near the prevalence boundary the clamped target moves less
+        than the raw sinusoid; ground truth must score what was injected,
+        not what was asked for.  The pool fraction is learned from the last
+        ``sample_weights`` call; before any pool is seen the raw offset
+        stands in.
+        """
+        offset = self._offset(t)
+        base = self._base_fraction
+        if base is None:
+            return offset
+        target = min(max(base + offset, self._FRACTION_FLOOR), self._FRACTION_CEIL)
+        return target - base
+
+    def sample_weights(self, dataset: Dataset, t: float) -> Optional[np.ndarray]:
+        self._base_fraction = dataset.minority_fraction
+        offset = self._effective_offset(t)
+        if offset == 0.0:
+            return None
+        return prevalence_weights(dataset.group, self._base_fraction + offset)
+
+    def is_drifted(self, t: float) -> bool:
+        return (
+            self.amplitude > 0.0
+            and abs(self._effective_offset(t)) > 0.5 * self.amplitude
+        )
+
+
+@register_scenario("burst", summary="transient traffic spike (load, not drift)")
+@register_scenario(
+    "flash_crowd",
+    defaults={"factor": 8.0, "width": 0.1},
+    summary="short extreme burst: 8x volume for a tenth of the timeline",
+)
+class Burst(Scenario):
+    """Multiply the batch size by ``factor`` during ``[onset, onset + width)``."""
+
+    def __init__(self, factor: float = 4.0, onset: float = 0.5, width: float = 0.25) -> None:
+        if factor < 1.0:
+            raise SimulationError("factor must be at least 1")
+        self.factor = float(factor)
+        self.onset = self._check_unit_interval("onset", onset)
+        self.width = self._check_unit_interval("width", width)
+
+    def batch_rows(self, t: float, base_rows: int, rng: np.random.Generator) -> int:
+        if self.onset <= t < self.onset + self.width:
+            return int(round(base_rows * self.factor))
+        return int(base_rows)
+
+
+@register_scenario("ramp", summary="linearly growing traffic volume (load, not drift)")
+class RampTraffic(Scenario):
+    """Grow the batch size linearly from the base to ``factor`` times it."""
+
+    def __init__(self, factor: float = 3.0) -> None:
+        if factor < 1.0:
+            raise SimulationError("factor must be at least 1")
+        self.factor = float(factor)
+
+    def batch_rows(self, t: float, base_rows: int, rng: np.random.Generator) -> int:
+        return int(round(base_rows * (1.0 + (self.factor - 1.0) * t)))
+
+
+@register_scenario("feedback", summary="selection-rate gaps feed back into the group mix")
+class FeedbackLoop(Scenario):
+    """Served decisions reshape future arrivals.
+
+    After every observed batch the minority arrival bias is multiplied by
+    ``exp(strength * (sr_minority - sr_majority))``: a model that selects the
+    minority less sends minority traffic away (and vice versa), compounding
+    step by step — the classic unfairness feedback loop.  The bias is episode
+    state: :meth:`reset` restores 1.0, and a stream drives ``reset`` before
+    every replay so identical seeds still yield identical streams.
+    """
+
+    _BIAS_FLOOR = 0.05
+    _BIAS_CEIL = 20.0
+
+    def __init__(self, strength: float = 1.0, drift_ratio: float = 1.5) -> None:
+        if strength < 0:
+            raise SimulationError("strength must be non-negative")
+        if drift_ratio <= 1.0:
+            raise SimulationError("drift_ratio must exceed 1")
+        self.strength = float(strength)
+        self.drift_ratio = float(drift_ratio)
+        self._minority_bias = 1.0
+
+    def reset(self) -> None:
+        self._minority_bias = 1.0
+
+    def observe(self, batch: TrafficBatch, predictions: np.ndarray) -> None:
+        predictions = np.asarray(predictions).ravel()
+        group = np.asarray(batch.group).ravel()
+        minority = group == 1
+        if not minority.any() or minority.all():
+            return
+        gap = float(np.mean(predictions[minority])) - float(np.mean(predictions[~minority]))
+        bias = self._minority_bias * math.exp(self.strength * gap)
+        self._minority_bias = min(max(bias, self._BIAS_FLOOR), self._BIAS_CEIL)
+
+    def sample_weights(self, dataset: Dataset, t: float) -> Optional[np.ndarray]:
+        if self._minority_bias == 1.0:
+            return None
+        weights = np.ones(dataset.n_samples, dtype=np.float64)
+        weights[dataset.group == 1] = self._minority_bias
+        return weights
+
+    def is_drifted(self, t: float) -> bool:
+        bias = self._minority_bias
+        return bias >= self.drift_ratio or bias <= 1.0 / self.drift_ratio
+
+
+class Compose(Scenario):
+    """Run several scenarios simultaneously.
+
+    Batch sizes are chained through every scenario in order, sampling weights
+    are multiplied, transforms are applied in order, and the ground truth is
+    the disjunction (any component drifted ⇒ the batch is drifted).
+    """
+
+    def __init__(self, scenarios: Sequence[Scenario] = ()) -> None:
+        scenarios = tuple(scenarios)
+        if not scenarios:
+            raise SimulationError("Compose needs at least one scenario")
+        for scenario in scenarios:
+            if not isinstance(scenario, Scenario):
+                raise SimulationError(
+                    f"Compose accepts Scenario instances, got {type(scenario).__name__}"
+                )
+        self.scenarios = scenarios
+
+    def batch_rows(self, t: float, base_rows: int, rng: np.random.Generator) -> int:
+        rows = int(base_rows)
+        for scenario in self.scenarios:
+            rows = scenario.batch_rows(t, rows, rng)
+        return rows
+
+    def sample_weights(self, dataset: Dataset, t: float) -> Optional[np.ndarray]:
+        combined: Optional[np.ndarray] = None
+        for scenario in self.scenarios:
+            weights = scenario.sample_weights(dataset, t)
+            if weights is None:
+                continue
+            combined = weights.copy() if combined is None else combined * weights
+        return combined
+
+    def transform_batch(self, batch: TrafficBatch, rng: np.random.Generator) -> TrafficBatch:
+        for scenario in self.scenarios:
+            batch = scenario.transform_batch(batch, rng)
+        return batch
+
+    def is_drifted(self, t: float) -> bool:
+        return any(scenario.is_drifted(t) for scenario in self.scenarios)
+
+    def reset(self) -> None:
+        for scenario in self.scenarios:
+            scenario.reset()
+
+    def observe(self, batch: TrafficBatch, predictions: np.ndarray) -> None:
+        for scenario in self.scenarios:
+            scenario.observe(batch, predictions)
+
+
+class Schedule(Scenario):
+    """Sequence scenarios over the timeline.
+
+    ``stages`` is a sequence of ``(scenario, duration)`` pairs; durations are
+    normalized into timeline fractions and each stage sees a *local* clock
+    running from 0 to 1 across its window, so a stage's ``onset`` semantics
+    are unchanged by where the schedule places it.
+    """
+
+    def __init__(self, stages: Sequence[Tuple[Scenario, float]] = ()) -> None:
+        stages = tuple((scenario, float(duration)) for scenario, duration in stages)
+        if not stages:
+            raise SimulationError("Schedule needs at least one (scenario, duration) stage")
+        for scenario, duration in stages:
+            if not isinstance(scenario, Scenario):
+                raise SimulationError(
+                    f"Schedule accepts Scenario instances, got {type(scenario).__name__}"
+                )
+            if duration <= 0:
+                raise SimulationError("stage durations must be positive")
+        self.stages = stages
+
+    def _active(self, t: float) -> Tuple[Scenario, float]:
+        """Return the stage covering ``t`` and the stage-local clock value."""
+        total = sum(duration for _, duration in self.stages)
+        start = 0.0
+        last = len(self.stages) - 1
+        for index, (scenario, duration) in enumerate(self.stages):
+            width = duration / total
+            if t < start + width or index == last:
+                local = (t - start) / width if width > 0 else 0.0
+                return scenario, min(max(local, 0.0), 1.0)
+            start += width
+        raise AssertionError("unreachable: the last stage absorbs t == 1")
+
+    def batch_rows(self, t: float, base_rows: int, rng: np.random.Generator) -> int:
+        scenario, local = self._active(t)
+        return scenario.batch_rows(local, base_rows, rng)
+
+    def sample_weights(self, dataset: Dataset, t: float) -> Optional[np.ndarray]:
+        scenario, local = self._active(t)
+        return scenario.sample_weights(dataset, local)
+
+    def transform_batch(self, batch: TrafficBatch, rng: np.random.Generator) -> TrafficBatch:
+        scenario, local = self._active(batch.t)
+        return scenario.transform_batch(batch.replace(t=local), rng).replace(t=batch.t)
+
+    def is_drifted(self, t: float) -> bool:
+        scenario, local = self._active(t)
+        return scenario.is_drifted(local)
+
+    def reset(self) -> None:
+        for scenario, _ in self.stages:
+            scenario.reset()
+
+    def observe(self, batch: TrafficBatch, predictions: np.ndarray) -> None:
+        scenario, _ = self._active(batch.t)
+        scenario.observe(batch, predictions)

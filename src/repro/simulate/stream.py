@@ -1,0 +1,122 @@
+"""Turn any :class:`~repro.datasets.Dataset` into replayable traffic.
+
+:class:`TrafficStream` walks a timeline in ``n_steps`` discrete steps.  At
+each step it asks its scenario for the arrival volume, draws that many rows
+from the source dataset (with replacement, under the scenario's sampling
+weights), hands the drawn batch to the scenario's transform, and stamps the
+scenario's drift ground truth onto the resulting :class:`TrafficBatch`.
+
+**Determinism contract**: a stream constructed with an integer seed is
+*replayable* — every iteration first resets the scenario's episode state and
+reseeds a fresh generator, so two iterations of the same stream (or of two
+streams built with equal parameters) yield bit-identical batches.  This is
+hypothesis-tested across scenario compositions.  Passing a live
+``numpy.random.Generator`` instead opts out of replayability (the generator's
+state advances), which is occasionally useful for one-shot exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.datasets.table import Dataset
+from repro.exceptions import SimulationError
+from repro.simulate.base import Scenario, TrafficBatch
+from repro.simulate.scenarios import StationaryTraffic
+from repro.utils.random import check_random_state
+
+
+class TrafficStream:
+    """Batched, seed-deterministic serving traffic drawn from a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Source pool of rows (typically a deploy split); every emitted tuple
+        is one of its rows, possibly transformed by the scenario.
+    scenario:
+        A :class:`~repro.simulate.base.Scenario`; ``None`` means stationary
+        control traffic.
+    n_steps:
+        Number of batches on the timeline; step ``i`` sits at
+        ``t = i / (n_steps - 1)``.
+    batch_size:
+        Base rows per step, before the scenario's arrival-pattern scaling.
+    random_state:
+        Integer seed (replayable — see the module docstring) or a live
+        generator (single-shot).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        scenario: Optional[Scenario] = None,
+        *,
+        n_steps: int = 50,
+        batch_size: int = 128,
+        random_state=0,
+    ) -> None:
+        if n_steps < 1:
+            raise SimulationError("n_steps must be at least 1")
+        if batch_size < 1:
+            raise SimulationError("batch_size must be at least 1")
+        if scenario is not None and not isinstance(scenario, Scenario):
+            raise SimulationError(
+                f"scenario must be a Scenario instance, got {type(scenario).__name__}"
+            )
+        self.dataset = dataset
+        self.scenario = scenario if scenario is not None else StationaryTraffic()
+        self.n_steps = int(n_steps)
+        self.batch_size = int(batch_size)
+        self.random_state = random_state
+
+    def _timeline(self, step: int) -> float:
+        return step / (self.n_steps - 1) if self.n_steps > 1 else 0.0
+
+    def __iter__(self) -> Iterator[TrafficBatch]:
+        rng = check_random_state(self.random_state)
+        dataset = self.dataset
+        scenario = self.scenario
+        scenario.reset()
+        n_pool = dataset.n_samples
+        for step in range(self.n_steps):
+            t = self._timeline(step)
+            rows = max(1, int(scenario.batch_rows(t, self.batch_size, rng)))
+            weights = scenario.sample_weights(dataset, t)
+            if weights is None:
+                indices = rng.integers(0, n_pool, size=rows)
+            else:
+                weights = np.asarray(weights, dtype=np.float64)
+                if weights.shape[0] != n_pool or np.any(weights < 0) or weights.sum() <= 0:
+                    raise SimulationError(
+                        f"{type(scenario).__name__}.sample_weights must return "
+                        f"{n_pool} non-negative weights with a positive sum"
+                    )
+                indices = rng.choice(n_pool, size=rows, replace=True, p=weights / weights.sum())
+            batch = TrafficBatch(
+                X=dataset.X[indices],
+                y=dataset.y[indices],
+                group=dataset.group[indices],
+                step=step,
+                t=t,
+                drifted=bool(scenario.is_drifted(t)),
+                n_numeric_features=dataset.n_numeric_features,
+            )
+            yield scenario.transform_batch(batch, rng)
+
+    def observe(self, batch: TrafficBatch, predictions: np.ndarray) -> None:
+        """Feed served predictions back to the scenario (feedback loops)."""
+        self.scenario.observe(batch, predictions)
+
+    @property
+    def expected_rows(self) -> int:
+        """Base-volume row count (arrival patterns may emit more)."""
+        return self.n_steps * self.batch_size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrafficStream({self.dataset.name!r}, {self.scenario!r}, "
+            f"n_steps={self.n_steps}, batch_size={self.batch_size})"
+        )

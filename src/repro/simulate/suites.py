@@ -1,0 +1,234 @@
+"""Named scenario suites and the engine that replays them.
+
+A *suite* is an ordered set of labelled scenarios — always including a
+stationary control — that exercises one serving stack from several drift
+angles at once.  :class:`SuiteRunner` owns the shared setup (baselines are
+computed once from the training split; every scenario gets a fresh monitor
+and a fresh deterministic stream) so suite results are comparable across
+scenarios and runs.
+
+Suite entries are declarative: a scenario name, ``(name, params)``, or a
+sequence of those (replayed as a :class:`~repro.simulate.scenarios.Compose`),
+so suites can be listed/extended without touching the runner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.table import Dataset
+from repro.density.kde import KernelDensity
+from repro.exceptions import SimulationError
+from repro.serving.monitor import FairnessMonitor
+from repro.serving.service import PredictionService
+from repro.simulate.base import Scenario
+from repro.simulate.registry import make_scenario
+from repro.simulate.replay import ReplayHarness, ReplayResult
+from repro.simulate.scenarios import Compose
+from repro.simulate.stream import TrafficStream
+
+#: Declarative suite table: label -> scenario spec (see :func:`build_scenario`).
+SCENARIO_SUITES: Dict[str, Tuple[Tuple[str, object], ...]] = {
+    "default": (
+        ("control", "none"),
+        ("group_shift", "group_shift"),
+        ("covariate_shift", "covariate_shift"),
+        ("burst", "burst"),
+    ),
+    "drift": (
+        ("control", "none"),
+        ("covariate_shift", "covariate_shift"),
+        ("gradual_covariate_shift", "gradual_covariate_shift"),
+        ("label_shift", "label_shift"),
+        ("group_shift", "group_shift"),
+        ("gradual_group_shift", "gradual_group_shift"),
+        ("seasonal", "seasonal"),
+        ("feedback", "feedback"),
+    ),
+    "traffic": (
+        ("control", "none"),
+        ("burst", "burst"),
+        ("flash_crowd", "flash_crowd"),
+        ("ramp", "ramp"),
+    ),
+    "full": (
+        ("control", "none"),
+        ("covariate_shift", "covariate_shift"),
+        ("label_shift", "label_shift"),
+        ("group_shift", "group_shift"),
+        ("seasonal", "seasonal"),
+        ("feedback", "feedback"),
+        ("burst", "burst"),
+        ("ramp", "ramp"),
+        ("burst_group_shift", (("burst", {}), ("group_shift", {}))),
+    ),
+}
+
+
+def available_suites() -> List[str]:
+    """Names accepted by :func:`make_suite` / ``repro-simulate suite``."""
+    return list(SCENARIO_SUITES)
+
+
+def build_scenario(spec) -> Scenario:
+    """Build one scenario from a declarative spec.
+
+    Accepts a registered name, a ``(name, params)`` pair, or a sequence of
+    those (composed in order).
+    """
+    if isinstance(spec, str):
+        return make_scenario(spec)
+    if (
+        isinstance(spec, Sequence)
+        and len(spec) == 2
+        and isinstance(spec[0], str)
+        and isinstance(spec[1], dict)
+    ):
+        return make_scenario(spec[0], **spec[1])
+    if isinstance(spec, Sequence) and spec:
+        return Compose([build_scenario(item) for item in spec])
+    raise SimulationError(f"Cannot build a scenario from spec {spec!r}")
+
+
+def make_suite(name: str) -> List[Tuple[str, Scenario]]:
+    """Materialize a named suite into ``(label, scenario)`` pairs."""
+    key = name.strip().lower()
+    if key not in SCENARIO_SUITES:
+        raise SimulationError(
+            f"Unknown suite {name!r}; available suites: {tuple(available_suites())}"
+        )
+    return [(label, build_scenario(spec)) for label, spec in SCENARIO_SUITES[key]]
+
+
+class SuiteRunner:
+    """Replay scenarios against one model with shared, precomputed baselines.
+
+    Parameters
+    ----------
+    model:
+        Anything :class:`PredictionService` serves (a loaded artifact, a
+        :class:`~repro.interventions.DeployedModel`, a ``PipelineResult``).
+    train:
+        The training split: conformance/density/group baselines are fixed on
+        it once and reused by every scenario's fresh monitor.
+    profile:
+        Optional :class:`~repro.core.partitions.PartitionProfile` enabling
+        the conformance-drift channel.
+    density_estimator:
+        Optional *fitted* :class:`KernelDensity` enabling the density-drift
+        channel (fit one on ``train.numeric_X`` to monitor the training
+        distribution).
+    calibration:
+        Optional held-out split (typically validation) used to fix the
+        *density* baseline.  A KDE scores its own training sample
+        optimistically high — anchoring the baseline there makes every
+        held-out batch look drifted — so clean held-out data is the honest
+        reference level; conformance and group baselines are unbiased on the
+        training split and stay there.
+    window_size, group_tolerance, min_samples:
+        Monitor configuration shared by every scenario.
+    service_batch_size, max_workers:
+        Micro-batching of the underlying service.
+    """
+
+    def __init__(
+        self,
+        model,
+        train: Dataset,
+        *,
+        profile=None,
+        density_estimator: Optional[KernelDensity] = None,
+        calibration: Optional[Dataset] = None,
+        window_size: int = 2000,
+        group_tolerance: float = 0.15,
+        min_samples: int = 50,
+        service_batch_size: int = 512,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.model = model
+        self.train = train
+        self.profile = profile
+        self.density_estimator = density_estimator
+        self.window_size = int(window_size)
+        self.group_tolerance = float(group_tolerance)
+        self.min_samples = int(min_samples)
+        self.service_batch_size = int(service_batch_size)
+        self.max_workers = max_workers
+
+        probe = self._fresh_monitor()
+        self._violation_baseline = (
+            probe.set_drift_baseline(train.X) if profile is not None else None
+        )
+        density_reference = calibration if calibration is not None else train
+        self._density_baseline = (
+            probe.set_density_baseline(density_reference.X)
+            if density_estimator is not None
+            else None
+        )
+        self._group_baseline = float(train.minority_fraction)
+
+    def _fresh_monitor(self) -> FairnessMonitor:
+        return FairnessMonitor(
+            window_size=self.window_size,
+            profile=self.profile,
+            density_estimator=self.density_estimator,
+            min_samples=self.min_samples,
+            group_tolerance=self.group_tolerance,
+        )
+
+    def make_service(self) -> PredictionService:
+        """A fresh monitored service with the shared baselines installed."""
+        monitor = self._fresh_monitor()
+        if self._violation_baseline is not None:
+            monitor.set_drift_baseline(self._violation_baseline)
+        if self._density_baseline is not None:
+            monitor.set_density_baseline(self._density_baseline)
+        monitor.set_group_baseline(self._group_baseline)
+        return PredictionService(
+            self.model,
+            batch_size=self.service_batch_size,
+            max_workers=self.max_workers,
+            monitor=monitor,
+        )
+
+    def replay_scenario(
+        self,
+        scenario: Scenario,
+        deploy: Dataset,
+        *,
+        label: Optional[str] = None,
+        n_steps: int = 40,
+        batch_size: int = 128,
+        seed: int = 0,
+    ) -> ReplayResult:
+        """Replay one scenario over ``deploy`` traffic with a fresh monitor."""
+        stream = TrafficStream(
+            deploy, scenario, n_steps=n_steps, batch_size=batch_size, random_state=seed
+        )
+        with self.make_service() as service:
+            return ReplayHarness(service).replay(stream, label=label)
+
+    def run(
+        self,
+        suite: str,
+        deploy: Dataset,
+        *,
+        n_steps: int = 40,
+        batch_size: int = 128,
+        seed: int = 0,
+    ) -> List[Tuple[str, ReplayResult]]:
+        """Replay every scenario of a named suite; returns ``(label, result)``."""
+        return [
+            (
+                label,
+                self.replay_scenario(
+                    scenario,
+                    deploy,
+                    label=label,
+                    n_steps=n_steps,
+                    batch_size=batch_size,
+                    seed=seed,
+                ),
+            )
+            for label, scenario in make_suite(suite)
+        ]

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.datasets import make_classification, make_drifted_groups
+from repro.datasets import (
+    joint_prevalence_weights,
+    make_classification,
+    make_drifted_groups,
+    prevalence_weights,
+    resample_dataset,
+)
 from repro.exceptions import DatasetError
 from repro.learners import LogisticRegressionClassifier
 from repro.learners.metrics import accuracy_score
@@ -100,3 +106,70 @@ class TestMakeDriftedGroups:
             make_drifted_groups(n_majority=2)
         with pytest.raises(DatasetError):
             make_drifted_groups(group_shift=-1.0)
+
+
+class TestPrevalenceWeights:
+    def test_expected_prevalence_is_exact(self):
+        indicator = np.array([1] * 30 + [0] * 70)
+        weights = prevalence_weights(indicator, 0.8)
+        probabilities = weights / weights.sum()
+        assert float(probabilities[indicator == 1].sum()) == pytest.approx(0.8)
+
+    def test_unreachable_targets_raise(self):
+        with pytest.raises(DatasetError, match="raise prevalence"):
+            prevalence_weights(np.zeros(10), 0.5)
+        with pytest.raises(DatasetError, match="lower prevalence"):
+            prevalence_weights(np.ones(10), 0.5)
+        with pytest.raises(DatasetError, match="target_rate"):
+            prevalence_weights(np.array([0, 1]), 1.5)
+
+    def test_joint_weights_hit_both_marginals_on_correlated_pool(self):
+        # group and y correlate strongly: naive per-axis weight products
+        # would overshoot both marginals; the joint (IPF) solution may not.
+        rng = np.random.default_rng(0)
+        group = rng.integers(0, 2, 400)
+        y = np.where(rng.random(400) < 0.85, group, 1 - group)
+        weights = joint_prevalence_weights(group, y, 0.7, 0.3)
+        probabilities = weights / weights.sum()
+        assert float(probabilities[group == 1].sum()) == pytest.approx(0.7, abs=1e-6)
+        assert float(probabilities[y == 1].sum()) == pytest.approx(0.3, abs=1e-6)
+
+    def test_jointly_infeasible_targets_raise(self):
+        group = np.array([0] * 50 + [1] * 50)
+        y = group.copy()  # group == y row-for-row: marginals must coincide
+        with pytest.raises(DatasetError, match="jointly"):
+            joint_prevalence_weights(group, y, 0.7, 0.2)
+
+    def test_degenerate_pool_named_in_error(self):
+        with pytest.raises(DatasetError, match="group == 1"):
+            joint_prevalence_weights(np.zeros(10), np.ones(10), 0.5, 1.0)
+
+
+class TestResampleDataset:
+    POOL = make_drifted_groups(
+        n_majority=400, n_minority=150, n_features=4, random_state=21
+    )
+
+    def test_single_target_minority_fraction(self):
+        shifted = resample_dataset(self.POOL, minority_fraction=0.8, random_state=3)
+        assert shifted.n_samples == self.POOL.n_samples
+        assert shifted.minority_fraction == pytest.approx(0.8, abs=0.06)
+        assert shifted.metadata["target_minority_fraction"] == 0.8
+        assert shifted.metadata["resampled_from"] == self.POOL.name
+
+    def test_joint_targets_on_correlated_pool(self):
+        shifted = resample_dataset(
+            self.POOL, minority_fraction=0.6, positive_rate=0.3,
+            n_samples=4000, random_state=3,
+        )
+        assert shifted.minority_fraction == pytest.approx(0.6, abs=0.04)
+        assert shifted.positive_rate == pytest.approx(0.3, abs=0.04)
+
+    def test_reproducible_and_validated(self):
+        a = resample_dataset(self.POOL, positive_rate=0.7, random_state=5)
+        b = resample_dataset(self.POOL, positive_rate=0.7, random_state=5)
+        assert np.array_equal(a.X, b.X)
+        with pytest.raises(DatasetError, match="needs"):
+            resample_dataset(self.POOL)
+        with pytest.raises(DatasetError, match="n_samples"):
+            resample_dataset(self.POOL, minority_fraction=0.5, n_samples=0)

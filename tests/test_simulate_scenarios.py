@@ -1,0 +1,342 @@
+"""Unit tests for the scenario registry and the built-in scenario library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_drifted_groups
+from repro.exceptions import SimulationError
+from repro.simulate import (
+    Burst,
+    Compose,
+    CovariateShift,
+    FeedbackLoop,
+    GroupPrevalenceShift,
+    LabelShift,
+    RampTraffic,
+    Scenario,
+    Schedule,
+    SeasonalMixture,
+    TrafficBatch,
+    available_scenarios,
+    describe_scenarios,
+    get_scenario_spec,
+    make_scenario,
+    register_scenario,
+    shift_intensity,
+)
+
+DATASET = make_drifted_groups(
+    n_majority=300, n_minority=120, n_features=4, name="scen-syn", random_state=5
+)
+
+
+def make_batch(t=0.0, n=20, drifted=False):
+    rng = np.random.default_rng(0)
+    return TrafficBatch(
+        X=rng.normal(size=(n, 4)),
+        y=rng.integers(0, 2, n),
+        group=rng.integers(0, 2, n),
+        step=0,
+        t=t,
+        drifted=drifted,
+        n_numeric_features=4,
+    )
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = available_scenarios()
+        for name in (
+            "none",
+            "covariate_shift",
+            "label_shift",
+            "group_shift",
+            "seasonal",
+            "burst",
+            "ramp",
+            "feedback",
+        ):
+            assert name in names
+
+    def test_describe_has_a_summary_per_name(self):
+        summaries = describe_scenarios()
+        assert set(summaries) == set(available_scenarios())
+        assert all(summaries.values())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SimulationError, match="Unknown scenario"):
+            make_scenario("nope")
+
+    def test_unknown_parameter_raises_naming_accepted(self):
+        with pytest.raises(SimulationError, match="does not accept"):
+            make_scenario("group_shift", volume=3)
+        with pytest.raises(SimulationError, match="target_minority_fraction"):
+            make_scenario("group_shift", volume=3)
+
+    def test_preset_defaults_applied_and_overridable(self):
+        gradual = make_scenario("gradual_group_shift")
+        assert isinstance(gradual, GroupPrevalenceShift)
+        assert (gradual.onset, gradual.ramp) == (0.3, 0.5)
+        overridden = make_scenario("gradual_group_shift", ramp=0.2)
+        assert overridden.ramp == 0.2
+
+    def test_spec_accepted_params(self):
+        spec = get_scenario_spec("covariate_shift")
+        assert set(spec.accepted_params()) == {"magnitude", "onset", "ramp", "feature"}
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SimulationError, match="already registered"):
+            register_scenario("none")(CovariateShift)
+
+    def test_non_scenario_registration_rejected(self):
+        with pytest.raises(SimulationError, match="must subclass Scenario"):
+            register_scenario("not-a-scenario")(dict)
+
+
+class TestParamsAndClone:
+    @pytest.mark.parametrize("name", sorted(set(available_scenarios())))
+    def test_get_params_clone_round_trip(self, name):
+        scenario = make_scenario(name)
+        duplicate = scenario.clone()
+        assert type(duplicate) is type(scenario)
+        assert duplicate.get_params() == scenario.get_params()
+        assert repr(duplicate) == repr(scenario)
+
+    def test_combinators_round_trip(self):
+        composite = Compose([Burst(factor=2.0), GroupPrevalenceShift(onset=0.2)])
+        schedule = Schedule([(CovariateShift(), 1.0), (LabelShift(), 2.0)])
+        for scenario in (composite, schedule):
+            duplicate = scenario.clone()
+            assert repr(duplicate) == repr(scenario)
+
+    def test_clone_resets_episode_state(self):
+        loop = FeedbackLoop(strength=2.0)
+        loop._minority_bias = 7.0
+        assert loop.clone()._minority_bias == 1.0
+
+
+class TestShiftIntensity:
+    def test_envelope(self):
+        assert shift_intensity(0.49, 0.5, 0.0) == 0.0
+        assert shift_intensity(0.5, 0.5, 0.0) == 1.0
+        assert shift_intensity(0.5, 0.5, 0.4) == 0.0
+        assert shift_intensity(0.7, 0.5, 0.4) == pytest.approx(0.5)
+        assert shift_intensity(0.95, 0.5, 0.4) == 1.0
+
+
+class TestCovariateShift:
+    def test_shifts_numeric_columns_after_onset(self):
+        scenario = CovariateShift(magnitude=0.5, onset=0.5)
+        rng = np.random.default_rng(1)
+        before = make_batch(t=0.25)
+        assert scenario.transform_batch(before, rng) is before
+        assert not scenario.is_drifted(0.25)
+        after = make_batch(t=0.75)
+        shifted = scenario.transform_batch(after, rng)
+        np.testing.assert_allclose(shifted.X, after.X + 0.5)
+        assert scenario.is_drifted(0.75)
+
+    def test_single_feature_mode(self):
+        scenario = CovariateShift(magnitude=1.0, onset=0.0, feature=2)
+        batch = make_batch(t=1.0)
+        shifted = scenario.transform_batch(batch, np.random.default_rng(0))
+        np.testing.assert_allclose(shifted.X[:, 2], batch.X[:, 2] + 1.0)
+        np.testing.assert_allclose(shifted.X[:, 0], batch.X[:, 0])
+
+    def test_feature_out_of_range_raises(self):
+        scenario = CovariateShift(onset=0.0, feature=9)
+        with pytest.raises(SimulationError, match="numeric columns"):
+            scenario.transform_batch(make_batch(t=1.0), np.random.default_rng(0))
+
+    def test_invalid_onset_rejected(self):
+        with pytest.raises(SimulationError, match="onset"):
+            CovariateShift(onset=1.5)
+
+
+class TestPrevalenceShifts:
+    def test_group_shift_weights_move_toward_target(self):
+        scenario = GroupPrevalenceShift(target_minority_fraction=0.9, onset=0.0)
+        weights = scenario.sample_weights(DATASET, 1.0)
+        probabilities = weights / weights.sum()
+        expected = float(probabilities[DATASET.group == 1].sum())
+        assert expected == pytest.approx(0.9)
+
+    def test_label_shift_weights_move_toward_target(self):
+        scenario = LabelShift(target_positive_rate=0.8, onset=0.0)
+        weights = scenario.sample_weights(DATASET, 1.0)
+        probabilities = weights / weights.sum()
+        assert float(probabilities[DATASET.y == 1].sum()) == pytest.approx(0.8)
+
+    def test_no_weights_before_onset(self):
+        scenario = GroupPrevalenceShift(onset=0.6)
+        assert scenario.sample_weights(DATASET, 0.5) is None
+        assert not scenario.is_drifted(0.5)
+        assert scenario.is_drifted(0.6)
+
+    def test_target_equal_to_pool_rate_is_not_drift(self):
+        # Regression: a prevalence "shift" to the pool's own rate injects
+        # nothing, so ground truth must stay clean once the pool is known.
+        scenario = GroupPrevalenceShift(
+            target_minority_fraction=DATASET.minority_fraction, onset=0.0
+        )
+        assert scenario.is_drifted(0.5)  # pool unseen: envelope decides
+        scenario.sample_weights(DATASET, 0.5)
+        assert not scenario.is_drifted(0.5)
+        label = LabelShift(target_positive_rate=DATASET.positive_rate, onset=0.0)
+        label.sample_weights(DATASET, 0.5)
+        assert not label.is_drifted(0.5)
+        # A real target drifts as before.
+        real = GroupPrevalenceShift(target_minority_fraction=0.9, onset=0.0)
+        real.sample_weights(DATASET, 0.5)
+        assert real.is_drifted(0.5)
+
+    def test_ramp_interpolates(self):
+        scenario = GroupPrevalenceShift(
+            target_minority_fraction=0.9, onset=0.0, ramp=1.0
+        )
+        weights = scenario.sample_weights(DATASET, 0.5)
+        probabilities = weights / weights.sum()
+        base = DATASET.minority_fraction
+        expected = base + (0.9 - base) * 0.5
+        assert float(probabilities[DATASET.group == 1].sum()) == pytest.approx(expected)
+
+
+class TestSeasonal:
+    def test_oscillation_and_ground_truth(self):
+        scenario = SeasonalMixture(amplitude=0.2, period=1.0)
+        assert scenario.sample_weights(DATASET, 0.0) is None
+        assert not scenario.is_drifted(0.0)
+        assert scenario.is_drifted(0.25)  # sin peak
+        weights = scenario.sample_weights(DATASET, 0.25)
+        probabilities = weights / weights.sum()
+        target = min(max(DATASET.minority_fraction + 0.2, 0.02), 0.98)
+        assert float(probabilities[DATASET.group == 1].sum()) == pytest.approx(target)
+
+    def test_invalid_period(self):
+        with pytest.raises(SimulationError, match="period"):
+            SeasonalMixture(period=0.0)
+
+    def test_ground_truth_respects_the_prevalence_clamp(self):
+        # Regression: on a pool already near the prevalence ceiling the
+        # clamped oscillation injects far less than the raw sinusoid, and
+        # ground truth must score the injected shift, not the requested one.
+        high = make_drifted_groups(
+            n_majority=30, n_minority=370, n_features=3, random_state=2
+        )
+        assert high.minority_fraction > 0.9
+        scenario = SeasonalMixture(amplitude=0.2, period=1.0)
+        scenario.sample_weights(high, 0.25)  # learn the pool fraction
+        assert not scenario.is_drifted(0.25)  # clamp eats the upward peak
+        assert scenario.is_drifted(0.75)  # the downward peak still injects
+
+
+class TestArrivalPatterns:
+    def test_burst_window(self):
+        scenario = Burst(factor=4.0, onset=0.5, width=0.2)
+        rng = np.random.default_rng(0)
+        assert scenario.batch_rows(0.4, 100, rng) == 100
+        assert scenario.batch_rows(0.5, 100, rng) == 400
+        assert scenario.batch_rows(0.69, 100, rng) == 400
+        assert scenario.batch_rows(0.7, 100, rng) == 100
+        assert not scenario.is_drifted(0.6)
+
+    def test_ramp_growth(self):
+        scenario = RampTraffic(factor=3.0)
+        rng = np.random.default_rng(0)
+        assert scenario.batch_rows(0.0, 100, rng) == 100
+        assert scenario.batch_rows(1.0, 100, rng) == 300
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(SimulationError):
+            Burst(factor=0.5)
+        with pytest.raises(SimulationError):
+            RampTraffic(factor=0.0)
+
+
+class TestFeedbackLoop:
+    def test_bias_compounds_and_resets(self):
+        loop = FeedbackLoop(strength=2.0, drift_ratio=1.5)
+        batch = make_batch(n=40)
+        # Predictions favor the majority: minority arrivals should shrink.
+        predictions = (batch.group == 0).astype(int)
+        assert loop.sample_weights(DATASET, 0.0) is None
+        for _ in range(5):
+            loop.observe(batch, predictions)
+        assert loop._minority_bias < 1.0
+        weights = loop.sample_weights(DATASET, 0.5)
+        assert weights is not None
+        assert weights[DATASET.group == 1].max() < weights[DATASET.group == 0].min()
+        assert loop.is_drifted(0.5)
+        loop.reset()
+        assert loop._minority_bias == 1.0
+        assert not loop.is_drifted(0.5)
+
+    def test_single_group_batches_are_ignored(self):
+        loop = FeedbackLoop()
+        batch = make_batch(n=10).replace(group=np.zeros(10, dtype=np.int64))
+        loop.observe(batch, np.ones(10, dtype=np.int64))
+        assert loop._minority_bias == 1.0
+
+
+class TestCombinators:
+    def test_compose_multiplies_weights_and_or_drift(self):
+        composite = Compose(
+            [Burst(factor=2.0, onset=0.0, width=1.0), GroupPrevalenceShift(onset=0.5)]
+        )
+        rng = np.random.default_rng(0)
+        assert composite.batch_rows(0.1, 100, rng) == 200
+        assert composite.sample_weights(DATASET, 0.1) is None
+        assert composite.sample_weights(DATASET, 0.9) is not None
+        assert not composite.is_drifted(0.1)
+        assert composite.is_drifted(0.9)
+
+    def test_compose_validation(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            Compose([])
+        with pytest.raises(SimulationError, match="Scenario instances"):
+            Compose(["group_shift"])
+
+    def test_schedule_local_clock(self):
+        schedule = Schedule(
+            [(CovariateShift(magnitude=1.0, onset=0.5), 1.0), (LabelShift(onset=0.5), 1.0)]
+        )
+        # Global t=0.25 is local t=0.5 of stage 1 -> covariate drift active.
+        assert schedule.is_drifted(0.25)
+        # Global t=0.6 is local t=0.2 of stage 2 -> label shift not yet active.
+        assert not schedule.is_drifted(0.6)
+        assert schedule.is_drifted(0.8)
+        assert schedule.sample_weights(DATASET, 0.8) is not None
+        assert schedule.sample_weights(DATASET, 0.25) is None
+
+    def test_schedule_transform_uses_local_clock_but_keeps_global_t(self):
+        schedule = Schedule([(CovariateShift(magnitude=1.0, onset=0.5), 1.0)])
+        batch = make_batch(t=0.75)
+        shifted = schedule.transform_batch(batch, np.random.default_rng(0))
+        assert shifted.t == 0.75
+        np.testing.assert_allclose(shifted.X, batch.X + 1.0)
+
+    def test_schedule_with_repeated_stage_objects(self):
+        # Regression: the middle stage must stay reachable when the first and
+        # last stages are the very same (scenario, duration) pair.
+        burst = Burst(factor=2.0, onset=0.0, width=1.0)
+        schedule = Schedule([(burst, 1.0), (make_scenario("none"), 1.0), (burst, 1.0)])
+        rng = np.random.default_rng(0)
+        assert schedule.batch_rows(0.1, 100, rng) == 200  # first burst stage
+        assert schedule.batch_rows(0.5, 100, rng) == 100  # calm middle stage
+        assert schedule.batch_rows(0.9, 100, rng) == 200  # last burst stage
+
+    def test_schedule_validation(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            Schedule([])
+        with pytest.raises(SimulationError, match="positive"):
+            Schedule([(CovariateShift(), 0.0)])
+
+    def test_base_scenario_is_identity(self):
+        scenario = Scenario()
+        batch = make_batch()
+        assert scenario.batch_rows(0.5, 64, np.random.default_rng(0)) == 64
+        assert scenario.sample_weights(DATASET, 0.5) is None
+        assert scenario.transform_batch(batch, np.random.default_rng(0)) is batch
+        assert not scenario.is_drifted(0.5)
