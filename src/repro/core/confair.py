@@ -87,6 +87,12 @@ class ConFair(BaseEstimator):
         Candidate ``alpha_u`` values for the automatic search.
     random_state:
         Seed for the learners trained during tuning.
+    n_jobs:
+        Worker threads for partition profiling during :meth:`fit`
+        (``None``/``1`` serial, ``-1`` one per CPU).  Profiling dominates
+        fit time and its per-partition work releases the GIL; the parallel
+        profile is assembled in deterministic partition order, so the fitted
+        state is bit-identical to a serial fit.
 
     Attributes (after :meth:`fit`)
     ------------------------------
@@ -126,6 +132,7 @@ class ConFair(BaseEstimator):
         learner="lr",
         tuning_grid: Optional[Tuple[float, ...]] = None,
         random_state: Optional[int] = 0,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if fairness_target not in ("di", "fnr", "fpr"):
             raise ValidationError("fairness_target must be 'di', 'fnr', or 'fpr'")
@@ -147,6 +154,7 @@ class ConFair(BaseEstimator):
             np.linspace(0.0, 3.0, 13)
         )
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------ fit
     def fit(self, train: Dataset, validation: Optional[Dataset] = None) -> "ConFair":
@@ -160,6 +168,7 @@ class ConFair(BaseEstimator):
             discovery_config=self.discovery_config,
             use_density_filter=self.use_density_filter,
             density_fraction=self.density_fraction,
+            n_jobs=self.n_jobs,
         )
         self._train = train
         self._base_weights = self._compute_base_weights(train)

@@ -21,13 +21,14 @@ shares one implementation instead of re-rolling the double loop.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.datasets.table import Dataset
 from repro.density.kde import KernelDensity
 from repro.exceptions import ValidationError
+from repro.utils.parallel import thread_map
 
 PartitionKey = Tuple[int, int]
 """(group, label) pair: group 0 = majority W, 1 = minority U."""
@@ -78,6 +79,7 @@ def density_filter_indices(
     kernel: str = "gaussian",
     bandwidth="scott",
     algorithm: str = "auto",
+    dtype: str = "float64",
 ) -> np.ndarray:
     """Return the indices of the densest rows of ``X`` (Algorithm 3, one partition).
 
@@ -96,6 +98,12 @@ def density_filter_indices(
         bit-identically; ``brute`` computes distances through a different
         (equally exact) expansion, so its ranks can differ only between
         rows whose densities are tied to within an ulp.
+    dtype:
+        ``"float64"`` (default) or ``"float32"``: the opt-in single-precision
+        distance-kernel path of :class:`repro.density.KernelDensity`.  The
+        filter consumes density *ranks*, whose float32-vs-float64
+        equivalence is gated by the test suite; the default keeps the frozen
+        float64 reference path.
     """
     if not 0.0 < density_fraction <= 1.0:
         raise ValidationError("density_fraction must be in (0, 1]")
@@ -107,7 +115,9 @@ def density_filter_indices(
     if keep >= n_rows:
         return np.arange(n_rows)
 
-    estimator = KernelDensity(bandwidth=bandwidth, kernel=kernel, algorithm=algorithm).fit(X)
+    estimator = KernelDensity(
+        bandwidth=bandwidth, kernel=kernel, algorithm=algorithm, dtype=dtype
+    ).fit(X)
     log_density = estimator.score_samples(X)
     order = np.argsort(-log_density, kind="mergesort")
     return np.sort(order[:keep])
@@ -121,15 +131,23 @@ def density_filter(
     kernel: str = "gaussian",
     bandwidth="scott",
     algorithm: str = "auto",
+    dtype: str = "float64",
+    n_jobs: Optional[int] = None,
 ) -> Dataset:
     """Apply Algorithm 3 to a dataset: keep the densest tuples of each partition.
 
     Each of the four (group, label) partitions is filtered independently and
     the kept rows are concatenated into a new :class:`Dataset` (the input is
-    never modified).
+    never modified).  ``n_jobs`` filters the partitions on that many worker
+    threads (``None``/``1`` serial, ``-1`` one per CPU); the kept rows are
+    assembled in deterministic partition order either way, so the result is
+    bit-identical to the serial run.
     """
-    keep_indices = []
-    for _, partition_rows in iter_group_label_partitions(dataset.group, dataset.y):
+    partitions = list(iter_group_label_partitions(dataset.group, dataset.y))
+    if not partitions:
+        raise ValidationError("Dataset has no non-empty (group, label) partitions")
+
+    def _filter_one(partition_rows: np.ndarray) -> np.ndarray:
         local = density_filter_indices(
             dataset.numeric_X[partition_rows],
             density_fraction=density_fraction,
@@ -137,10 +155,11 @@ def density_filter(
             kernel=kernel,
             bandwidth=bandwidth,
             algorithm=algorithm,
+            dtype=dtype,
         )
-        keep_indices.append(partition_rows[local])
-    if not keep_indices:
-        raise ValidationError("Dataset has no non-empty (group, label) partitions")
+        return partition_rows[local]
+
+    keep_indices = thread_map(_filter_one, [rows for _, rows in partitions], n_jobs=n_jobs)
     all_indices = np.sort(np.concatenate(keep_indices))
     return dataset.subset(all_indices)
 
@@ -151,19 +170,25 @@ def partition_density_ranks(
     kernel: str = "gaussian",
     bandwidth="scott",
     algorithm: str = "auto",
+    dtype: str = "float64",
+    n_jobs: Optional[int] = None,
 ) -> Dict[PartitionKey, np.ndarray]:
     """Per-partition density ranks (0 = densest) keyed by ``(group, label)``.
 
     Exposed for diagnostics and the ablation benchmarks; not needed by the
-    main algorithms.
+    main algorithms.  ``n_jobs`` ranks the partitions on that many worker
+    threads (``None``/``1`` serial, ``-1`` one per CPU) with results keyed
+    in deterministic partition order — bit-identical to the serial run.
     """
-    ranks: Dict[PartitionKey, np.ndarray] = {}
-    for key, rows in iter_group_label_partitions(dataset.group, dataset.y):
+    partitions = list(iter_group_label_partitions(dataset.group, dataset.y))
+
+    def _rank_one(rows: np.ndarray) -> np.ndarray:
         if rows.size == 1:
-            ranks[key] = np.array([0])
-            continue
+            return np.array([0])
         estimator = KernelDensity(
-            bandwidth=bandwidth, kernel=kernel, algorithm=algorithm
+            bandwidth=bandwidth, kernel=kernel, algorithm=algorithm, dtype=dtype
         ).fit(dataset.numeric_X[rows])
-        ranks[key] = estimator.density_rank(dataset.numeric_X[rows])
-    return ranks
+        return estimator.density_rank(dataset.numeric_X[rows])
+
+    all_ranks = thread_map(_rank_one, [rows for _, rows in partitions], n_jobs=n_jobs)
+    return {key: ranks for (key, _), ranks in zip(partitions, all_ranks)}

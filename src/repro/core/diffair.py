@@ -21,6 +21,7 @@ from repro.exceptions import ValidationError
 from repro.learners.base import BaseClassifier, BaseEstimator, clone
 from repro.learners.registry import make_learner
 from repro.profiling.discovery import DiscoveryConfig
+from repro.utils.parallel import thread_map
 from repro.utils.validation import check_array
 
 
@@ -40,6 +41,12 @@ class DiffFair(BaseEstimator):
         Conformance-constraint discovery hyper-parameters.
     random_state:
         Seed passed to learners created from a registry name.
+    n_jobs:
+        Worker threads for partition profiling and the two group-model fits
+        during :meth:`fit` (``None``/``1`` serial, ``-1`` one per CPU).  The
+        parallel profile is assembled in deterministic partition order and
+        each group model trains on its own data with its own seed, so the
+        fitted state is bit-identical to a serial fit.
 
     Attributes (after :meth:`fit`)
     ------------------------------
@@ -65,12 +72,14 @@ class DiffFair(BaseEstimator):
         density_fraction: float = 0.2,
         discovery_config: Optional[DiscoveryConfig] = None,
         random_state: Optional[int] = 0,
+        n_jobs: Optional[int] = None,
     ) -> None:
         self.learner = learner
         self.use_density_filter = use_density_filter
         self.density_fraction = density_fraction
         self.discovery_config = discovery_config
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------ fit
     def fit(self, train: Dataset, validation: Optional[Dataset] = None) -> "DiffFair":
@@ -88,12 +97,14 @@ class DiffFair(BaseEstimator):
             discovery_config=self.discovery_config,
             use_density_filter=self.use_density_filter,
             density_fraction=self.density_fraction,
+            n_jobs=self.n_jobs,
         )
 
         majority = train.partition(group_value=0)
         minority = train.partition(group_value=1)
-        self.model_majority_ = self._fit_group_model(majority)
-        self.model_minority_ = self._fit_group_model(minority)
+        self.model_majority_, self.model_minority_ = thread_map(
+            self._fit_group_model, [majority, minority], n_jobs=self.n_jobs
+        )
         self.n_features_ = train.n_features
         self.n_numeric_features_ = train.n_numeric_features
         self._validation_scores: Dict[str, float] = {}

@@ -37,6 +37,28 @@ per-row implementation preserved in :mod:`repro.density.reference`: the
 bit-identical to the seed tree path — and to each other — while ``brute``
 is the seed blockwise code unchanged.  Across the brute/tree divide the two
 distance expansions agree to ulp precision, not bit for bit.
+``KernelDensity(dtype="float32")`` is an opt-in single-precision path for
+the distance kernels; the float64 default *is* the frozen reference, and the
+float32 path is gated on rank-equivalence against it (ranks are what
+Algorithm 3 consumes).
+
+Thread safety
+-------------
+The engine is designed to be shared by concurrent fits (parallel partition
+profiling, ``run_repeated`` worker threads):
+
+* the module-level backend LRU behind :func:`get_backend` is guarded by a
+  single lock around lookup/insert/evict and **deduplicates builds
+  per key** — two threads profiling the same partition wait on one
+  construction instead of building the structure twice
+  (:func:`backend_cache_stats` exposes hits/builds/evictions/waits);
+* fitted backends, :class:`KDTree`, and :class:`GridIndex` are immutable
+  after construction and safe to query from any number of threads;
+* a fitted :class:`KernelDensity` is safe for concurrent
+  ``score_samples`` / ``density_rank`` calls.  ``fit`` itself mutates the
+  estimator, so do not share one *unfitted* estimator across threads —
+  fit per thread (the backend cache makes refits over the same partition
+  cheap) or fit once before fanning out.
 """
 
 from repro.density.backends import (
@@ -47,6 +69,7 @@ from repro.density.backends import (
     GridBackend,
     KDTreeBackend,
     backend_cache_size,
+    backend_cache_stats,
     clear_backend_cache,
     get_backend,
     resolve_algorithm,
@@ -74,6 +97,7 @@ __all__ = [
     "KDTreeBackend",
     "KernelDensity",
     "backend_cache_size",
+    "backend_cache_stats",
     "clear_backend_cache",
     "epanechnikov_kernel",
     "gaussian_kernel",

@@ -41,8 +41,9 @@ from __future__ import annotations
 
 import abc
 import hashlib
+import threading
 from collections import OrderedDict
-from typing import ClassVar, Optional, Tuple
+from typing import ClassVar, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -196,11 +197,36 @@ def resolve_algorithm(
 
 
 # --------------------------------------------------------------------------
-# per-fit backend cache
+# per-fit backend cache (shared across threads)
 # --------------------------------------------------------------------------
 
 _CACHE_CAPACITY = 16
 _CACHE: "OrderedDict[tuple, DensityBackend]" = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+"""Guards every read/write of ``_CACHE``, ``_PENDING``, and ``_STATS``.
+
+The lookup / ``move_to_end`` / insert / ``popitem`` sequence on an
+``OrderedDict`` is not atomic: unsynchronized concurrent fits could corrupt
+the dict's internal linked list or build the same backend twice.  The lock
+is held only around bookkeeping — never while a backend is being *built* —
+so concurrent builds of distinct keys still overlap.
+"""
+
+_PENDING: Dict[tuple, "_PendingBuild"] = {}
+"""In-flight builds keyed like the cache: the per-key build deduplicator."""
+
+_STATS = {"hits": 0, "builds": 0, "evictions": 0, "build_waits": 0}
+
+
+class _PendingBuild:
+    """Rendezvous for threads requesting a backend that is being built."""
+
+    __slots__ = ("event", "backend", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.backend: Optional[DensityBackend] = None
+        self.error: Optional[BaseException] = None
 
 
 def _fingerprint(X: np.ndarray) -> Tuple[str, Tuple[int, ...], str]:
@@ -210,6 +236,16 @@ def _fingerprint(X: np.ndarray) -> Tuple[str, Tuple[int, ...], str]:
     return digest, data.shape, str(data.dtype)
 
 
+def _build_backend(
+    name: str, X: np.ndarray, leaf_size: int, bandwidth: Optional[float]
+) -> DensityBackend:
+    if name == "brute":
+        return BruteBackend(X)
+    if name == "kd_tree":
+        return KDTreeBackend(X, leaf_size=int(leaf_size))
+    return GridBackend(X, bandwidth=float(bandwidth))
+
+
 def get_backend(
     name: str,
     X: np.ndarray,
@@ -217,11 +253,19 @@ def get_backend(
     leaf_size: int = 32,
     bandwidth: Optional[float] = None,
 ) -> DensityBackend:
-    """Build (or fetch from the LRU cache) the named backend over ``X``.
+    """Build (or fetch from the shared LRU cache) the named backend over ``X``.
 
-    The cache key is the training sample's *content* plus the parameters
-    that shape the structure (leaf size for trees, cell size for grids), so
-    two independent fits over the same partition share one structure.
+    The cache key is the training sample's *content* (digest, shape, dtype)
+    plus the parameters that shape the structure (leaf size for trees, cell
+    size for grids), so two independent fits over the same partition share
+    one structure.
+
+    The cache is **thread-safe and build-deduplicating**: concurrent callers
+    may use it freely (parallel partition profiling, ``run_repeated``
+    worker threads), and when two threads request the same key while it is
+    being built, one builds and the other waits for the finished structure —
+    each key is built exactly once.  Backends themselves are immutable after
+    construction and safe to share across threads.
     """
     if name == "brute":
         parameter: object = None
@@ -235,28 +279,83 @@ def get_backend(
         raise ValidationError(f"Unknown density backend {name!r}; available: {BACKEND_NAMES}")
 
     key = (name, parameter, _fingerprint(X))
-    backend = _CACHE.get(key)
-    if backend is not None:
-        _CACHE.move_to_end(key)
-        return backend
+    with _CACHE_LOCK:
+        backend = _CACHE.get(key)
+        if backend is not None:
+            _CACHE.move_to_end(key)
+            _STATS["hits"] += 1
+            return backend
+        pending = _PENDING.get(key)
+        if pending is None:
+            pending = _PendingBuild()
+            _PENDING[key] = pending
+            building = True
+        else:
+            _STATS["build_waits"] += 1
+            building = False
 
-    if name == "brute":
-        backend = BruteBackend(X)
-    elif name == "kd_tree":
-        backend = KDTreeBackend(X, leaf_size=int(leaf_size))
-    else:
-        backend = GridBackend(X, bandwidth=float(bandwidth))
-    _CACHE[key] = backend
-    while len(_CACHE) > _CACHE_CAPACITY:
-        _CACHE.popitem(last=False)
+    if not building:
+        # Another thread is building this exact backend; wait for it rather
+        # than duplicating the (potentially expensive) construction.
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.backend is not None
+        return pending.backend
+
+    try:
+        backend = _build_backend(name, X, leaf_size, bandwidth)
+    except BaseException as exc:
+        pending.error = exc
+        with _CACHE_LOCK:
+            _PENDING.pop(key, None)
+        pending.event.set()
+        raise
+    pending.backend = backend
+    with _CACHE_LOCK:
+        _CACHE[key] = backend
+        _STATS["builds"] += 1
+        while len(_CACHE) > _CACHE_CAPACITY:
+            _CACHE.popitem(last=False)
+            _STATS["evictions"] += 1
+        _PENDING.pop(key, None)
+    pending.event.set()
     return backend
 
 
 def clear_backend_cache() -> None:
-    """Drop every cached backend (mainly for tests and memory pressure)."""
-    _CACHE.clear()
+    """Drop every cached backend and reset the cache statistics.
+
+    Mainly for tests and memory pressure.  In-flight builds are unaffected
+    (their waiters still receive the built backend); the built structures
+    simply re-enter an empty cache.
+    """
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        for stat in _STATS:
+            _STATS[stat] = 0
 
 
 def backend_cache_size() -> int:
     """Number of currently cached backends."""
-    return len(_CACHE)
+    with _CACHE_LOCK:
+        return len(_CACHE)
+
+
+def backend_cache_stats() -> Dict[str, int]:
+    """Snapshot of cumulative cache counters since the last clear.
+
+    ``hits``
+        Lookups served from the cache.
+    ``builds``
+        Backends actually constructed (each key is built at most once per
+        residency — the single-build guarantee concurrent profiling relies
+        on).
+    ``evictions``
+        LRU evictions past the cache capacity.
+    ``build_waits``
+        Requests that found their key mid-build and waited for the builder
+        instead of duplicating the construction.
+    """
+    with _CACHE_LOCK:
+        return dict(_STATS)

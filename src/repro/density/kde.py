@@ -92,6 +92,21 @@ class KernelDensity(BaseEstimator):
         :meth:`fit`.
     leaf_size:
         Leaf size of the KD-tree backend.
+    dtype:
+        Working precision of the distance kernels: ``"float64"`` (default,
+        the frozen-reference precision) or ``"float32"``, an opt-in speed
+        path that stores the training sample and evaluates the pairwise
+        distance kernels in single precision (roughly halving the memory
+        traffic of the brute backend's blockwise matmul — the Gaussian
+        kernel's only evaluation path).  The bandwidth is always resolved
+        from the float64 data, and log-densities are returned as float64
+        arrays either way.  Absolute log-densities shift by float32
+        round-off; what Algorithm 3 consumes is the density *ranking*, whose
+        equivalence against the float64 reference is gated by the test
+        suite (``tests/test_parallel_profiling.py``) — rank flips can occur
+        only between rows whose densities are closer than single-precision
+        resolution.  The spatial-index backends (``kd_tree``/``grid``)
+        compute their exact distances in float64 regardless.
     """
 
     _COMPACT_KERNELS = COMPACT_KERNELS  # kept for backward compatibility
@@ -108,11 +123,13 @@ class KernelDensity(BaseEstimator):
         kernel: str = "gaussian",
         algorithm: str = "auto",
         leaf_size: int = 32,
+        dtype: str = "float64",
     ) -> None:
         self.bandwidth = bandwidth
         self.kernel = kernel
         self.algorithm = algorithm
         self.leaf_size = leaf_size
+        self.dtype = dtype
 
     # -------------------------------------------------------------------- fit
     def fit(self, X) -> "KernelDensity":
@@ -123,6 +140,8 @@ class KernelDensity(BaseEstimator):
             raise ValidationError(
                 "algorithm must be 'auto', 'brute', 'kd_tree', or 'grid'"
             )
+        if str(self.dtype) not in ("float64", "float32"):
+            raise ValidationError("dtype must be 'float64' or 'float32'")
 
         if isinstance(self.bandwidth, str):
             rule = self.bandwidth.strip().lower()
@@ -140,7 +159,10 @@ class KernelDensity(BaseEstimator):
             raise ValidationError("bandwidth must resolve to a positive value")
 
         self.bandwidth_ = resolved
-        self.training_data_ = X.copy()
+        # The bandwidth above is always resolved from the float64 data; the
+        # opt-in float32 path only lowers the precision of the stored sample
+        # and the distance kernels evaluated against it.
+        self.training_data_ = X.astype(np.dtype(str(self.dtype)), copy=True)
         self.n_features_ = X.shape[1]
         self.algorithm_ = resolve_algorithm(
             self.algorithm,
@@ -198,7 +220,12 @@ class KernelDensity(BaseEstimator):
             )
         log_norm = log_normalization(self.kernel, self.bandwidth_, self.n_features_)
         n_train = self.training_data_.shape[0]
+        # Queries are evaluated in the training sample's precision (the
+        # float32 path would otherwise be silently promoted back to float64
+        # inside the pairwise-distance matmul).
+        X = X.astype(self.training_data_.dtype, copy=False)
         densities = self._get_backend().kernel_sums(X, self.kernel, self.bandwidth_)
+        densities = np.asarray(densities, dtype=np.float64)
         with np.errstate(divide="ignore"):
             log_density = np.log(densities) - np.log(n_train) + log_norm
         return log_density

@@ -36,7 +36,11 @@ from repro.datasets.table import Dataset
 from repro.exceptions import ExperimentError
 from repro.fairness import FairnessReport, evaluate_predictions
 from repro.interventions.base import DeployedModel, Intervention, InterventionCapabilities
-from repro.interventions.registry import get_intervention_spec, make_intervention
+from repro.interventions.registry import (
+    get_intervention_spec,
+    intervention_accepts,
+    make_intervention,
+)
 from repro.learners.base import BaseEstimator, clone as clone_estimator
 from repro.learners.registry import make_learner
 from repro.utils.random import spawn_seeds
@@ -107,6 +111,14 @@ class FairnessPipeline(BaseEstimator):
         raise :class:`~repro.exceptions.ExperimentError`.
     train_size, validation_size:
         Split fractions (paper: 70% / 15% / 15%).
+    fit_n_jobs:
+        Worker threads for the intervention's *fit-side* hot path — parallel
+        partition profiling in ConFair/DiffFair (``None``/``1`` serial,
+        ``-1`` one per CPU).  Forwarded as ``n_jobs`` to interventions whose
+        constructor accepts it and silently ignored for the rest; results
+        are bit-identical to serial fits either way.  Orthogonal to the
+        ``n_jobs`` of :meth:`run_repeated`, which parallelizes across whole
+        repeats.
     """
 
     def __init__(
@@ -121,6 +133,7 @@ class FairnessPipeline(BaseEstimator):
         intervention_params: Optional[Dict[str, object]] = None,
         train_size: float = 0.70,
         validation_size: float = 0.15,
+        fit_n_jobs: Optional[int] = None,
     ) -> None:
         self.intervention = intervention
         self.learner = learner
@@ -131,6 +144,7 @@ class FairnessPipeline(BaseEstimator):
         self.intervention_params = intervention_params
         self.train_size = train_size
         self.validation_size = validation_size
+        self.fit_n_jobs = fit_n_jobs
 
     # ------------------------------------------------------------- running
     def run(self, seed: Optional[int] = None) -> PipelineResult:
@@ -270,6 +284,8 @@ class FairnessPipeline(BaseEstimator):
         if isinstance(self.intervention, str):
             params.setdefault("learner", constructor_learner)
             params.setdefault("random_state", seed)
+            if self.fit_n_jobs is not None and intervention_accepts(self.intervention, "n_jobs"):
+                params.setdefault("n_jobs", self.fit_n_jobs)
             return make_intervention(self.intervention, **params)
         intervention = self.intervention.clone()
         if self.calibration_learner is not None:
@@ -277,6 +293,8 @@ class FairnessPipeline(BaseEstimator):
         accepted = intervention.get_params()
         if "random_state" in accepted:
             params.setdefault("random_state", seed)
+        if self.fit_n_jobs is not None and "n_jobs" in accepted:
+            params.setdefault("n_jobs", self.fit_n_jobs)
         unknown = sorted(set(params) - set(accepted))
         if unknown:
             raise ExperimentError(

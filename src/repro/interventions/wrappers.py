@@ -153,12 +153,14 @@ class DiffFairIntervention(Intervention):
         density_fraction: float = 0.2,
         discovery_config: Optional[DiscoveryConfig] = None,
         random_state: Optional[int] = 0,
+        n_jobs: Optional[int] = None,
     ) -> None:
         self.learner = learner
         self.use_density_filter = use_density_filter
         self.density_fraction = density_fraction
         self.discovery_config = discovery_config
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def fit(self, train: Dataset, validation: Optional[Dataset] = None) -> "DiffFairIntervention":
         self.estimator_ = DiffFair(
@@ -167,6 +169,7 @@ class DiffFairIntervention(Intervention):
             density_fraction=self.density_fraction,
             discovery_config=self.discovery_config,
             random_state=self.random_state,
+            n_jobs=self.n_jobs,
         ).fit(train, validation=validation)
         return self
 
@@ -241,6 +244,7 @@ class ConFairIntervention(_WeightedTrainingMixin, Intervention):
         learner="lr",
         tuning_grid: Tuple[float, ...] = DEFAULT_TUNING_GRID,
         random_state: Optional[int] = 0,
+        n_jobs: Optional[int] = None,
     ) -> None:
         self.alpha_u = alpha_u
         self.alpha_w = alpha_w
@@ -252,6 +256,7 @@ class ConFairIntervention(_WeightedTrainingMixin, Intervention):
         self.learner = learner
         self.tuning_grid = tuning_grid
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def fit(self, train: Dataset, validation: Optional[Dataset] = None) -> "ConFairIntervention":
         self.estimator_ = ConFair(
@@ -265,6 +270,7 @@ class ConFairIntervention(_WeightedTrainingMixin, Intervention):
             learner=self.learner,
             tuning_grid=self.tuning_grid,
             random_state=self.random_state,
+            n_jobs=self.n_jobs,
         ).fit(train, validation=validation)
         return self
 

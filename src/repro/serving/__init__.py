@@ -22,6 +22,18 @@ attribute at prediction time):
 * :mod:`repro.serving.cli` — the ``repro-serve`` command
   (``fit``/``save``/``score``/``serve``), also ``python -m repro.serve``.
 
+Thread safety
+-------------
+A :class:`PredictionService` **is** safe to share across caller threads:
+worker-pool initialization, :class:`ServiceStats` accumulation, and the
+attached monitor's window updates are serialized under one internal service
+lock, and ``predict`` after ``close()`` raises
+:class:`~repro.exceptions.ValidationError` (it never resurrects a pool).  A
+bare :class:`FairnessMonitor` is **not** internally synchronized — share it
+only through a service (which locks around ``update``) or add your own
+lock.  Loaded artifacts and :class:`~repro.interventions.DeployedModel`
+instances are read-only at predict time and safe to share.
+
 Quickstart::
 
     from repro import FairnessPipeline

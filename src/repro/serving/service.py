@@ -14,10 +14,24 @@ A :class:`~repro.serving.monitor.FairnessMonitor` can be attached; every
 served batch then feeds the monitor's sliding window (predictions, audit
 group labels, optional delayed ground truth, and the raw features for
 conformance-drift scoring).
+
+Thread safety
+-------------
+One :class:`PredictionService` may be shared across caller threads: the
+worker-pool initialization, the :class:`ServiceStats` accumulation, and the
+monitor feed are serialized under a single internal lock, so concurrent
+``predict`` calls never leak a second pool or drop a stats update, and the
+attached monitor sees whole batches in a consistent order (the *relative*
+order of concurrent requests is whatever the race resolves to, as for any
+concurrent server).  ``close`` is idempotent; a ``predict`` after ``close``
+raises :class:`~repro.exceptions.ValidationError` instead of silently
+resurrecting a worker pool.  The model itself must be read-only at predict
+time (every shipped learner is).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -94,6 +108,10 @@ class PredictionService:
         self.preprocessor = preprocessor
         self.stats = ServiceStats()
         self._pool: Optional[ThreadPoolExecutor] = None
+        # Serializes pool init, stats accumulation, the monitor feed, and
+        # the closed flag; never held across a model predict call.
+        self._lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------ factory
     @classmethod
@@ -125,7 +143,16 @@ class PredictionService:
         ``requires_group_at_predict``; otherwise it is optional audit
         information consumed by the attached monitor (never by the model).
         ``y_true`` (optional, audit) likewise only feeds the monitor.
+
+        Safe to call from multiple threads; raises
+        :class:`~repro.exceptions.ValidationError` once the service has been
+        closed.
         """
+        if self._closed:
+            raise ValidationError(
+                "PredictionService is closed; predictions after close() are not "
+                "served (create a new service from the same model or artifact)"
+            )
         X = np.asarray(X, dtype=np.float64)
         if X.ndim == 1:
             X = X.reshape(1, -1)
@@ -144,13 +171,17 @@ class PredictionService:
         predictions = self._predict_batched(X, group)
         elapsed = time.perf_counter() - start
 
-        self.stats.n_requests += 1
-        self.stats.n_records += int(X.shape[0])
-        self.stats.total_seconds += elapsed
-        if self.monitor is not None:
-            # Group-blind requests still feed the monitor: the drift alarm
-            # scores features alone, only the fairness counts need `group`.
-            self.monitor.update(predictions, group, y_true=y_true, X=X)
+        # Stats are read-modify-write and the monitor's sliding window is
+        # not internally synchronized; one lock keeps both exact under
+        # concurrent callers.
+        with self._lock:
+            self.stats.n_requests += 1
+            self.stats.n_records += int(X.shape[0])
+            self.stats.total_seconds += elapsed
+            if self.monitor is not None:
+                # Group-blind requests still feed the monitor: the drift alarm
+                # scores features alone, only the fairness counts need `group`.
+                self.monitor.update(predictions, group, y_true=y_true, X=X)
         return predictions
 
     def predict_records(self, numeric, categorical=None, group=None, *, y_true=None) -> np.ndarray:
@@ -174,10 +205,18 @@ class PredictionService:
         return report_from_counts(StreamCounts.from_batch(predictions, group, y_true))
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op for sequential services)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the worker pool and refuse further predictions.
+
+        Idempotent.  Subsequent :meth:`predict` calls raise
+        :class:`~repro.exceptions.ValidationError` — they used to silently
+        resurrect a fresh pool, which leaked executors and masked lifecycle
+        bugs in callers.
+        """
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "PredictionService":
         return self
@@ -188,10 +227,15 @@ class PredictionService:
     # ----------------------------------------------------------- batching
     def _worker_pool(self) -> ThreadPoolExecutor:
         # One pool for the service's lifetime: per-request thread spawn and
-        # join would dominate small-request latency.
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
-        return self._pool
+        # join would dominate small-request latency.  Lazy init runs under
+        # the service lock — two concurrent first requests used to race the
+        # None check and each build an executor, leaking one.
+        with self._lock:
+            if self._closed:
+                raise ValidationError("PredictionService is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            return self._pool
 
     def _predict_batched(self, X: np.ndarray, group) -> np.ndarray:
         n = X.shape[0]

@@ -1,5 +1,6 @@
-"""Shared low-level utilities (validation, random-state handling)."""
+"""Shared low-level utilities (validation, random-state handling, parallelism)."""
 
+from repro.utils.parallel import effective_cpu_count, resolve_n_jobs, thread_map
 from repro.utils.random import check_random_state, spawn_seeds
 from repro.utils.validation import (
     check_array,
@@ -16,5 +17,8 @@ __all__ = [
     "check_random_state",
     "check_sample_weight",
     "check_X_y",
+    "effective_cpu_count",
+    "resolve_n_jobs",
     "spawn_seeds",
+    "thread_map",
 ]

@@ -1,0 +1,67 @@
+"""Deterministic thread-level parallelism helpers.
+
+The fit-side hot paths (partition profiling, Algorithm 3 filtering) are
+numpy-bound: the interpreter releases the GIL inside the batch kernels, so a
+thread pool scales them without any pickling or process overhead.  The one
+rule every caller of this module relies on is **determinism**: results are
+always assembled in *input* order, never completion order, so a parallel run
+is bit-identical to its serial counterpart.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.exceptions import ValidationError
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def effective_cpu_count() -> int:
+    """The CPU count used to resolve ``n_jobs=-1`` (at least 1)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def resolve_n_jobs(n_jobs: Optional[int], n_items: Optional[int] = None) -> int:
+    """Normalize an ``n_jobs`` knob to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per CPU; any
+    other positive integer is taken as-is.  When ``n_items`` is given the
+    result is capped by it (there is never a reason to start idle workers).
+    """
+    if n_jobs is None:
+        jobs = 1
+    elif n_jobs == -1:
+        jobs = effective_cpu_count()
+    elif n_jobs < 1:
+        raise ValidationError("n_jobs must be a positive integer, -1, or None")
+    else:
+        jobs = int(n_jobs)
+    if n_items is not None:
+        jobs = min(jobs, max(int(n_items), 1))
+    return jobs
+
+
+def thread_map(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Iterable[_ItemT],
+    *,
+    n_jobs: Optional[int] = None,
+) -> List[_ResultT]:
+    """Map ``fn`` over ``items``, optionally on a thread pool.
+
+    Results are returned in **input order** regardless of completion order
+    (``ThreadPoolExecutor.map`` preserves ordering), and the serial path is
+    taken verbatim for ``n_jobs in (None, 1)`` — so callers get bit-identical
+    outputs whether or not they parallelize.  Exceptions raised by ``fn``
+    propagate to the caller either way.
+    """
+    materialized = list(items)
+    jobs = resolve_n_jobs(n_jobs, len(materialized))
+    if jobs <= 1:
+        return [fn(item) for item in materialized]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, materialized))
