@@ -86,6 +86,30 @@ The monitor itself is checkpointable (``state_dict`` / ``load_state_dict``
 + artifact registration), so long replays can pause and resume with
 bit-identical windowed reports.
 
+Fleet quickstart::
+
+    from repro import FleetService, ProcessShardWorker
+
+    workers = [
+        ProcessShardWorker("artifacts/meps-confair", shard_id=i,
+                           monitor_path="artifacts/meps-monitor", mmap_mode="r")
+        for i in range(8)
+    ]
+    with FleetService(workers) as fleet:
+        fleet.predict(rows, groups)
+        print(fleet.fleet_report()["records_per_second"])
+        print(fleet.monitor.windowed_summary()["di_star"])  # merged across shards
+
+:mod:`repro.fleet` scales one monitored service out to N shards: worker
+processes memory-map the same artifact (cold start is O(manifest), not
+O(weights)), an asyncio front-end fans micro-batches out round-robin while
+preserving row order, and the per-shard ``FairnessMonitor`` states are
+**merged** — :meth:`FairnessMonitor.merge` is bit-identical to one monitor
+having observed the union stream, so the fleet-level DI*/AOD*/drift view is
+exact, not approximate.  ``repro-fleet replay --shards N`` proves it by
+asserting a sharded drift replay matches the single-service replay
+bit-for-bit.
+
 Algorithm 3's density estimation runs on a batch-first engine
 (:mod:`repro.density`): ``KernelDensity(algorithm=...)`` dispatches
 ``score_samples`` onto a brute-force, flat batch KD-tree, or grid-hash
@@ -118,6 +142,7 @@ from repro.exceptions import (
     ConstraintError,
     DatasetError,
     ExperimentError,
+    FleetError,
     NotFittedError,
     ReproError,
     SimulationError,
@@ -142,11 +167,12 @@ from repro.learners import (
 )
 from repro.profiling import ConstraintSet, discover_constraints
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 # The serving subsystem consumes everything above (interventions, learners,
-# datasets), and the simulation subsystem consumes serving — so these two
-# imports must come last, in this order.
+# datasets), the simulation subsystem consumes serving, and the fleet
+# subsystem consumes both — so these three imports must come last, in this
+# order.
 from repro.serving import (
     FairnessMonitor,
     PredictionService,
@@ -164,6 +190,7 @@ from repro.simulate import (
     make_scenario,
     register_scenario,
 )
+from repro.fleet import FleetService, InlineShardWorker, ProcessShardWorker
 
 __all__ = [
     "ArtifactError",
@@ -180,7 +207,10 @@ __all__ = [
     "FairnessMonitor",
     "FairnessPipeline",
     "FairnessReport",
+    "FleetError",
+    "FleetService",
     "GradientBoostingClassifier",
+    "InlineShardWorker",
     "Intervention",
     "InterventionCapabilities",
     "KamiranReweighing",
@@ -191,6 +221,7 @@ __all__ = [
     "OmniFairReweighing",
     "PipelineResult",
     "PredictionService",
+    "ProcessShardWorker",
     "ReplayHarness",
     "ReplayResult",
     "ReproError",

@@ -88,11 +88,13 @@ class ConFair(BaseEstimator):
     random_state:
         Seed for the learners trained during tuning.
     n_jobs:
-        Worker threads for partition profiling during :meth:`fit`
+        Worker threads for partition profiling *and* for the per-degree
+        learner retrains of the ``alpha_u`` auto-tune during :meth:`fit`
         (``None``/``1`` serial, ``-1`` one per CPU).  Profiling dominates
         fit time and its per-partition work releases the GIL; the parallel
-        profile is assembled in deterministic partition order, so the fitted
-        state is bit-identical to a serial fit.
+        profile is assembled in deterministic partition order and every
+        tuning trial works on cloned learners and private weight arrays, so
+        the fitted state is bit-identical to a serial fit.
 
     Attributes (after :meth:`fit`)
     ------------------------------
@@ -191,6 +193,7 @@ class ConFair(BaseEstimator):
                 learner=self._make_learner(),
                 candidate_degrees=self.tuning_grid,
                 fairness_target=self.fairness_target,
+                n_jobs=self.n_jobs,
             )
             self.alpha_u_ = self.tuning_result_.best_degree
             self.alpha_w_ = self.alpha_u_ / 2.0 if self.alpha_w is None else float(self.alpha_w)

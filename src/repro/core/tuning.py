@@ -11,7 +11,7 @@ toward higher balanced accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.exceptions import ValidationError
 from repro.fairness.metrics import disparate_impact_star, equalized_odds_difference
 from repro.learners.base import BaseClassifier, clone
 from repro.learners.metrics import balanced_accuracy_score
+from repro.utils.parallel import thread_map
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,7 @@ def tune_intervention_degree(
     candidate_degrees: Sequence[float],
     fairness_target: str = "di",
     utility_floor: float = 0.5,
+    n_jobs: Optional[int] = None,
 ) -> InterventionTuningResult:
     """Search the intervention degree maximizing validation fairness.
 
@@ -78,6 +80,11 @@ def tune_intervention_degree(
         Candidates whose validation balanced accuracy falls below this floor
         (degenerate, single-class models) are only chosen if *every*
         candidate is degenerate.
+    n_jobs:
+        Candidate retrains to run concurrently (``None``/1 = serial,
+        ``-1`` = all cores).  Each trial clones the prototype learner and
+        works on its own copies, so the parallel search returns trials — and
+        a winner — bit-identical to the serial loop.
 
     Returns
     -------
@@ -90,8 +97,7 @@ def tune_intervention_degree(
     if any(d < 0 for d in degrees):
         raise ValidationError("candidate intervention degrees must be non-negative")
 
-    trials: List[TuningTrial] = []
-    for degree in degrees:
+    def evaluate(degree: float) -> TuningTrial:
         weights = np.asarray(weight_fn(degree), dtype=np.float64)
         if weights.shape[0] != train.n_samples:
             raise ValidationError(
@@ -103,7 +109,9 @@ def tune_intervention_degree(
         predictions = model.predict(validation.X)
         fairness = _fairness_score(validation.y, predictions, validation.group, fairness_target)
         utility = balanced_accuracy_score(validation.y, predictions)
-        trials.append(TuningTrial(degree=degree, fairness=fairness, balanced_accuracy=utility))
+        return TuningTrial(degree=degree, fairness=fairness, balanced_accuracy=utility)
+
+    trials: List[TuningTrial] = thread_map(evaluate, degrees, n_jobs=n_jobs)
 
     usable = [t for t in trials if t.balanced_accuracy > utility_floor]
     pool = usable if usable else trials

@@ -57,3 +57,13 @@ class SimulationError(ReproError):
     accept, malformed schedules/compositions, and replays driven without the
     monitor the scoring needs.
     """
+
+
+class FleetError(ReproError):
+    """Raised for sharded-serving failures in :mod:`repro.fleet`.
+
+    Covers worker processes that die or fail to start, requests dispatched
+    to a closed fleet, and invalid fleet configuration (no workers, unknown
+    dispatch policy).  Monitor-merge mismatches raise
+    :class:`ValidationError` from the monitor itself.
+    """

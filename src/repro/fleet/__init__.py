@@ -1,0 +1,67 @@
+"""``repro.fleet``: a sharded serving fleet with mergeable fairness monitors.
+
+One :class:`~repro.serving.PredictionService` scales to one process.  The
+fleet scales the same artifact to N shards without giving up the monitoring
+guarantees the serving layer was built around:
+
+* **Shard workers** (:class:`InlineShardWorker`, :class:`ProcessShardWorker`)
+  each serve the artifact with their own
+  :class:`~repro.serving.FairnessMonitor`.  Process workers load with
+  ``load_artifact(..., mmap_mode="r")``, so the payload arrays are
+  memory-mapped from a shared extraction cache: per-worker cold start is
+  O(manifest), and the weights occupy one physical copy machine-wide.
+* **The front-end** (:class:`FleetService`) fans requests to shards
+  (round-robin or least-loaded), preserves response ordering, stamps every
+  dispatched batch with a stream-wide sequence number, and merges the shard
+  monitors through
+  :meth:`~repro.serving.FairnessMonitor.merge_state_dicts` into the
+  union-stream monitor.
+* **The proof** (:func:`compare_sharded_replay`) replays a drift scenario
+  through the fleet and through a single service and asserts the scored
+  verdicts are bit-identical — alarms, detection latency, windowed DI*
+  trace, everything but wall-clock throughput.
+
+Scaling out
+-----------
+Start from a saved artifact and a saved baseline-installed monitor::
+
+    from repro.fleet import FleetService, ProcessShardWorker
+
+    workers = [
+        ProcessShardWorker("model.artifact", shard_id=i,
+                           monitor_path="monitor.artifact")
+        for i in range(8)
+    ]
+    with FleetService(workers) as fleet:
+        predictions = fleet.predict(X, group)      # sync facade
+        report = fleet.fleet_report()              # merged window + per-shard stats
+
+Async callers use ``await fleet.predict_async(...)`` directly.  Keep the
+default ``dispatch="round_robin"`` and ``scatter_rows=None`` whenever the
+merged monitor must reproduce a single-service run exactly; switch to
+``least_loaded``/row scattering only when balance matters more than
+replayability.  The ``repro-fleet`` CLI wraps the same pieces: ``serve``
+(throughput + fleet report), ``replay`` (sharded-vs-single equivalence
+check), and ``report`` (inspect a saved fleet report).
+"""
+
+from repro.fleet.replay import (
+    ShardedReplayComparison,
+    compare_sharded_replay,
+    compare_sharded_suite,
+    diff_replay_results,
+)
+from repro.fleet.service import DISPATCH_POLICIES, FleetService
+from repro.fleet.workers import InlineShardWorker, ProcessShardWorker, ShardSnapshot
+
+__all__ = [
+    "DISPATCH_POLICIES",
+    "FleetService",
+    "InlineShardWorker",
+    "ProcessShardWorker",
+    "ShardSnapshot",
+    "ShardedReplayComparison",
+    "compare_sharded_replay",
+    "compare_sharded_suite",
+    "diff_replay_results",
+]

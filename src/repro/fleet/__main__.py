@@ -1,0 +1,6 @@
+"""``python -m repro.fleet`` — alias for the ``repro-fleet`` console script."""
+
+from repro.fleet.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

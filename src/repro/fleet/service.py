@@ -1,0 +1,296 @@
+"""``FleetService``: the asyncio front-end of the sharded serving fleet.
+
+The front-end accepts requests (sync ``predict`` or native
+``predict_async``), fans micro-batches out to shard workers round-robin or
+least-loaded, preserves request ordering in the responses (parts are
+gathered in dispatch order regardless of completion order), stamps every
+dispatched batch with a stream-wide **sequence number**, and aggregates the
+per-shard :class:`~repro.serving.ServiceStats` and monitor states into one
+fleet-level view: :attr:`FleetService.monitor` is the shards' windows merged
+through :meth:`~repro.serving.FairnessMonitor.merge_state_dicts` — the
+union-stream monitor, bit for bit.
+
+Determinism contract: with ``dispatch="round_robin"`` and no scattering
+(``scatter_rows=None``, the default — each request goes whole to one shard)
+the sequence-stamped shard windows merge to a monitor *bit-identical* to a
+single :class:`~repro.serving.PredictionService` that served the same
+request stream.  ``least_loaded`` dispatch and row scattering trade that
+reproducibility for balance: both are timing-dependent (which shard is
+least loaded, how a request splits across windows), so they serve scale,
+not replays under test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import FleetError, ValidationError
+from repro.serving.monitor import FairnessMonitor
+from repro.serving.service import ServiceStats
+
+DISPATCH_POLICIES = ("round_robin", "least_loaded")
+
+
+class FleetService:
+    """Fan requests across shard workers; aggregate their monitors and stats.
+
+    Parameters
+    ----------
+    workers:
+        The shard workers (:class:`~repro.fleet.InlineShardWorker` /
+        :class:`~repro.fleet.ProcessShardWorker`, or anything speaking their
+        protocol).  The fleet owns them: ``close`` closes every worker.
+    dispatch:
+        ``"round_robin"`` (default; deterministic, the replay-proof policy)
+        or ``"least_loaded"`` (fewest in-flight parts wins, ties to the
+        lowest shard id).
+    scatter_rows:
+        ``None`` (default) dispatches each request whole to one shard —
+        required for bit-identical monitor merging, since a monitor chunk is
+        one update batch.  An integer scatters requests into row-blocks of
+        that size spread across shards (higher intra-request parallelism,
+        monitor windows chunked differently than single-service serving).
+    report_every:
+        Every N front-end requests, append a fleet report (merged monitor
+        summary + per-shard stats) to :attr:`report_history`.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence,
+        *,
+        dispatch: str = "round_robin",
+        scatter_rows: Optional[int] = None,
+        report_every: Optional[int] = None,
+    ) -> None:
+        workers = list(workers)
+        if not workers:
+            raise FleetError("FleetService needs at least one shard worker")
+        if dispatch not in DISPATCH_POLICIES:
+            raise FleetError(
+                f"Unknown dispatch policy {dispatch!r}; choose from {DISPATCH_POLICIES}"
+            )
+        if scatter_rows is not None and scatter_rows < 1:
+            raise FleetError("scatter_rows must be a positive integer or None")
+        if report_every is not None and report_every < 1:
+            raise FleetError("report_every must be a positive integer or None")
+        self.workers = workers
+        self.dispatch = dispatch
+        self.scatter_rows = scatter_rows
+        self.report_every = report_every
+        self.report_history: List[Dict[str, Any]] = []
+        self.n_requests = 0
+        self._sequence = 0
+        self._pending = [0] * len(workers)
+        self._next_worker = 0
+        self._lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(max_workers=max(len(workers), 1))
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._monitor_cache: Optional[tuple] = None
+        self._closed = False
+
+    # ---------------------------------------------------------- dispatching
+    def _pick_worker_index(self) -> int:
+        # Caller holds self._lock.
+        if self.dispatch == "round_robin":
+            index = self._next_worker
+            self._next_worker = (self._next_worker + 1) % len(self.workers)
+            return index
+        return min(range(len(self.workers)), key=lambda i: (self._pending[i], i))
+
+    def _dispatch_one(self, index: int, X, group, y_true, sequence) -> np.ndarray:
+        try:
+            return self.workers[index].predict(X, group, y_true=y_true, sequence=sequence)
+        finally:
+            with self._lock:
+                self._pending[index] -= 1
+
+    async def predict_async(self, X, group=None, *, y_true=None) -> np.ndarray:
+        """Serve one request; parts run concurrently, the response is ordered.
+
+        The returned predictions line up with the request rows even when
+        scattered parts complete out of order: results are gathered in
+        dispatch order, never completion order.
+        """
+        if self._closed:
+            raise ValidationError(
+                "FleetService is closed; predictions after close() are not served"
+            )
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if group is not None:
+            group = np.asarray(group).ravel()
+            if group.shape[0] != X.shape[0]:
+                raise ValidationError("X and group must have the same number of rows")
+        if y_true is not None:
+            y_true = np.asarray(y_true).ravel()
+            if y_true.shape[0] != X.shape[0]:
+                raise ValidationError("X and y_true must have the same number of rows")
+
+        n = X.shape[0]
+        block = n if self.scatter_rows is None else int(self.scatter_rows)
+        slices = [slice(i, min(i + block, n)) for i in range(0, max(n, 1), max(block, 1))]
+        assignments = []
+        with self._lock:
+            for part in slices:
+                index = self._pick_worker_index()
+                self._pending[index] += 1
+                assignments.append((index, part, self._sequence))
+                self._sequence += 1
+            self.n_requests += 1
+            n_requests = self.n_requests
+        loop = asyncio.get_running_loop()
+        tasks = [
+            loop.run_in_executor(
+                self._executor,
+                self._dispatch_one,
+                index,
+                X[part],
+                group[part] if group is not None else None,
+                y_true[part] if y_true is not None else None,
+                sequence,
+            )
+            for index, part, sequence in assignments
+        ]
+        chunks = await asyncio.gather(*tasks)
+        predictions = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        if self.report_every is not None and n_requests % self.report_every == 0:
+            self.report_history.append(self.fleet_report())
+        return predictions
+
+    def predict(self, X, group=None, *, y_true=None) -> np.ndarray:
+        """Synchronous facade over :meth:`predict_async`.
+
+        Runs the coroutine on the fleet's background event loop, so sync
+        callers (the replay harness, the CLI) and async callers share one
+        code path and one ordering/sequencing discipline.
+        """
+        loop = self._ensure_loop()
+        future = asyncio.run_coroutine_threadsafe(
+            self.predict_async(X, group, y_true=y_true), loop
+        )
+        return future.result()
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lock:
+            if self._closed:
+                raise ValidationError("FleetService is closed")
+            if self._loop is None:
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(
+                    target=loop.run_forever, name="fleet-service-loop", daemon=True
+                )
+                thread.start()
+                self._loop, self._loop_thread = loop, thread
+            return self._loop
+
+    # ----------------------------------------------------------- aggregation
+    def snapshots(self):
+        """One :class:`~repro.fleet.ShardSnapshot` per shard, in shard order."""
+        return [worker.snapshot() for worker in self.workers]
+
+    @property
+    def monitor(self) -> Optional[FairnessMonitor]:
+        """The shards' monitor windows merged into the union-stream monitor.
+
+        Merged lazily and cached per sequence point: repeated reads between
+        requests (a replay step reads statuses then the summary) reuse one
+        merge.  ``None`` when no shard carries a monitor.
+        """
+        with self._lock:
+            sequence = self._sequence
+            cached = self._monitor_cache
+        if cached is not None and cached[0] == sequence:
+            return cached[1]
+        template = None
+        for worker in self.workers:
+            template = worker.monitor_template()
+            if template is not None:
+                break
+        if template is None:
+            return None
+        states = [
+            snapshot.monitor_state
+            for snapshot in self.snapshots()
+            if snapshot.monitor_state is not None
+        ]
+        if not states:
+            return None
+        merged_state = FairnessMonitor.merge_state_dicts(
+            states, window_size=template.window_size
+        )
+        merged = template.load_state_dict(merged_state)
+        with self._lock:
+            self._monitor_cache = (sequence, merged)
+        return merged
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Aggregated shard stats (requests here are dispatched parts)."""
+        total = ServiceStats()
+        for snapshot in self.snapshots():
+            total.n_requests += snapshot.stats.n_requests
+            total.n_records += snapshot.stats.n_records
+            total.total_seconds += snapshot.stats.total_seconds
+        return total
+
+    def fleet_report(self) -> Dict[str, Any]:
+        """One fleet-level report: merged window view plus per-shard stats."""
+        snapshots = self.snapshots()
+        merged = self.monitor
+        report: Dict[str, Any] = {
+            "n_shards": len(self.workers),
+            "dispatch": self.dispatch,
+            "n_requests": self.n_requests,
+            "shards": [
+                {
+                    "shard_id": snapshot.shard_id,
+                    "n_requests": snapshot.stats.n_requests,
+                    "n_records": snapshot.stats.n_records,
+                    "records_per_second": round(snapshot.stats.records_per_second, 1),
+                    "cold_start_seconds": round(snapshot.cold_start_seconds, 4),
+                }
+                for snapshot in snapshots
+            ],
+        }
+        total = self.stats
+        report["n_records"] = total.n_records
+        report["records_per_second"] = round(total.records_per_second, 1)
+        if merged is not None:
+            report["windowed"] = merged.windowed_summary()
+        return report
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def requires_group(self) -> bool:
+        return any(bool(getattr(worker, "requires_group", False)) for worker in self.workers)
+
+    def close(self) -> None:
+        """Stop the loop, shut the executor down, close every worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            loop, self._loop = self._loop, None
+            thread, self._loop_thread = self._loop_thread, None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(timeout=10.0)
+            loop.close()
+        self._executor.shutdown(wait=True)
+        for worker in self.workers:
+            worker.close()
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

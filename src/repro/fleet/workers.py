@@ -1,0 +1,295 @@
+"""Shard workers: the per-node half of the sharded serving fleet.
+
+A *shard worker* owns one :class:`~repro.serving.PredictionService` (and its
+per-shard :class:`~repro.serving.FairnessMonitor`) and exposes the narrow
+surface the :class:`~repro.fleet.FleetService` front-end dispatches through:
+
+* :class:`InlineShardWorker` — the service lives in this process.  Zero
+  serialization overhead, deterministic, and what the sharded-replay
+  bit-identity proof runs on;
+* :class:`ProcessShardWorker` — the service lives in a spawned worker
+  process that loads the artifact itself with
+  ``load_artifact(..., mmap_mode="r")``, so N workers share one
+  memory-mapped copy of the weights through the OS page cache and each
+  worker's cold start is O(manifest), not O(weights).
+
+Both speak the same protocol: ``predict`` (with the fleet's stream-wide
+sequence stamp), ``snapshot`` (shard stats + the monitor's ``state_dict``
+for fleet-level merging), ``monitor_template`` (an empty monitor carrying
+the shard's configuration, the merge target), and ``close``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import FleetError
+from repro.serving.artifacts import load_artifact
+from repro.serving.monitor import FairnessMonitor
+from repro.serving.service import PredictionService, ServiceStats
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """One shard's aggregation payload: stats plus mergeable monitor state."""
+
+    shard_id: int
+    stats: ServiceStats
+    monitor_state: Optional[Dict[str, Any]]
+    cold_start_seconds: float
+
+
+class InlineShardWorker:
+    """A shard whose :class:`PredictionService` runs in the caller's process.
+
+    Parameters
+    ----------
+    service:
+        The service this shard serves (typically with a fresh baseline-
+        installed monitor attached).  The worker owns it: ``close`` closes
+        it.
+    shard_id:
+        Position of this shard in the fleet (used in reports).
+    """
+
+    def __init__(self, service: PredictionService, *, shard_id: int = 0) -> None:
+        self.service = service
+        self.shard_id = int(shard_id)
+        self.cold_start_seconds = 0.0
+
+    @classmethod
+    def from_artifact(
+        cls,
+        path,
+        *,
+        shard_id: int = 0,
+        mmap_mode: Optional[str] = "r",
+        monitor: Optional[FairnessMonitor] = None,
+        batch_size: int = 2048,
+        max_workers: Optional[int] = None,
+    ) -> "InlineShardWorker":
+        """Build a shard from a saved artifact (memory-mapped by default)."""
+        start = time.perf_counter()
+        loaded = load_artifact(path, mmap_mode=mmap_mode)
+        service = PredictionService(
+            loaded, batch_size=batch_size, max_workers=max_workers, monitor=monitor
+        )
+        worker = cls(service, shard_id=shard_id)
+        worker.cold_start_seconds = time.perf_counter() - start
+        return worker
+
+    @property
+    def requires_group(self) -> bool:
+        return self.service.requires_group
+
+    def predict(self, X, group=None, *, y_true=None, sequence=None) -> np.ndarray:
+        return self.service.predict(X, group, y_true=y_true, sequence=sequence)
+
+    def monitor_template(self) -> Optional[FairnessMonitor]:
+        monitor = self.service.monitor
+        return monitor.config_clone() if monitor is not None else None
+
+    def snapshot(self) -> ShardSnapshot:
+        stats = self.service.stats
+        monitor = self.service.monitor
+        return ShardSnapshot(
+            shard_id=self.shard_id,
+            stats=ServiceStats(stats.n_requests, stats.n_records, stats.total_seconds),
+            monitor_state=monitor.state_dict() if monitor is not None else None,
+            cold_start_seconds=self.cold_start_seconds,
+        )
+
+    def close(self) -> None:
+        self.service.close()
+
+
+def _shard_worker_main(conn, artifact_path, monitor_path, batch_size, mmap_mode) -> None:
+    """Worker-process entry point: load, serve the pipe, snapshot on demand."""
+    try:
+        start = time.perf_counter()
+        loaded = load_artifact(artifact_path, mmap_mode=mmap_mode)
+        monitor = load_artifact(monitor_path) if monitor_path is not None else None
+        service = PredictionService(loaded, batch_size=batch_size, monitor=monitor)
+        cold_start = time.perf_counter() - start
+    except BaseException as error:  # noqa: BLE001 - report, then die
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+        conn.close()
+        return
+    conn.send(("ready", {"cold_start_seconds": cold_start, "requires_group": service.requires_group}))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        kind = message[0]
+        try:
+            if kind == "predict":
+                _, X, group, y_true, sequence = message
+                predictions = service.predict(X, group, y_true=y_true, sequence=sequence)
+                conn.send(("ok", predictions))
+            elif kind == "snapshot":
+                stats = service.stats
+                state = service.monitor.state_dict() if service.monitor is not None else None
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            "stats": (stats.n_requests, stats.n_records, stats.total_seconds),
+                            "monitor_state": state,
+                            "cold_start_seconds": cold_start,
+                        },
+                    )
+                )
+            elif kind == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", f"unknown message kind {kind!r}"))
+        except BaseException as error:  # noqa: BLE001 - keep the worker alive
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+    service.close()
+    conn.close()
+
+
+class ProcessShardWorker:
+    """A shard running in its own spawned process.
+
+    The child loads the artifact itself — with ``mmap_mode="r"`` (the
+    default) the payload arrays are memory-mapped from the shared extraction
+    cache, so every worker after the first starts in O(manifest) time and
+    the weights occupy one physical copy machine-wide.
+
+    Parameters
+    ----------
+    artifact_path:
+        Artifact directory (saved by ``save_artifact``) every worker serves.
+    monitor_path:
+        Optional artifact directory holding a baseline-installed
+        :class:`FairnessMonitor`; each worker loads its own copy, and the
+        parent loads one more as the merge template.
+    batch_size:
+        Micro-batch size of the in-worker service.
+    mmap_mode:
+        ``"r"`` (default) or ``None`` to materialize the payload per worker.
+    start_timeout:
+        Seconds to wait for the worker's ready handshake.
+    """
+
+    def __init__(
+        self,
+        artifact_path,
+        *,
+        shard_id: int = 0,
+        monitor_path=None,
+        batch_size: int = 2048,
+        mmap_mode: Optional[str] = "r",
+        start_timeout: float = 120.0,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self._monitor_path = str(monitor_path) if monitor_path is not None else None
+        self._template: Optional[FairnessMonitor] = None
+        # One in-flight message per worker: the pipe is a strict
+        # request/response channel, serialized under this lock.
+        self._lock = threading.Lock()
+        self._closed = False
+        context = multiprocessing.get_context("spawn")
+        self._conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_shard_worker_main,
+            args=(child_conn, str(artifact_path), self._monitor_path, int(batch_size), mmap_mode),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        kind, payload = self._receive(timeout=start_timeout)
+        if kind != "ready":
+            self._abandon()
+            raise FleetError(f"Shard worker {self.shard_id} failed to start: {payload}")
+        self.cold_start_seconds = float(payload["cold_start_seconds"])
+        self.requires_group = bool(payload["requires_group"])
+
+    # ------------------------------------------------------------- plumbing
+    def _receive(self, *, timeout: float = 120.0):
+        if not self._conn.poll(timeout):
+            self._abandon()
+            raise FleetError(
+                f"Shard worker {self.shard_id} did not answer within {timeout:.0f}s "
+                "(worker process hung or died)"
+            )
+        try:
+            return self._conn.recv()
+        except EOFError:
+            self._abandon()
+            raise FleetError(
+                f"Shard worker {self.shard_id} died mid-conversation (EOF on its pipe)"
+            ) from None
+
+    def _request(self, message, *, timeout: float = 120.0):
+        with self._lock:
+            if self._closed:
+                raise FleetError(f"Shard worker {self.shard_id} is closed")
+            try:
+                self._conn.send(message)
+            except (OSError, ValueError) as error:
+                self._abandon()
+                raise FleetError(
+                    f"Cannot reach shard worker {self.shard_id}: {error}"
+                ) from error
+            kind, payload = self._receive(timeout=timeout)
+        if kind == "error":
+            raise FleetError(f"Shard worker {self.shard_id} failed: {payload}")
+        return payload
+
+    def _abandon(self) -> None:
+        self._closed = True
+        if self._process.is_alive():
+            self._process.terminate()
+
+    # ------------------------------------------------------------- protocol
+    def predict(self, X, group=None, *, y_true=None, sequence=None) -> np.ndarray:
+        return self._request(("predict", np.asarray(X), group, y_true, sequence))
+
+    def monitor_template(self) -> Optional[FairnessMonitor]:
+        if self._monitor_path is None:
+            return None
+        if self._template is None:
+            template = load_artifact(self._monitor_path)
+            if not isinstance(template, FairnessMonitor):
+                raise FleetError(
+                    f"monitor_path {self._monitor_path} holds "
+                    f"{type(template).__name__}, not a FairnessMonitor"
+                )
+            self._template = template
+        return self._template.config_clone()
+
+    def snapshot(self) -> ShardSnapshot:
+        payload = self._request(("snapshot",))
+        n_requests, n_records, total_seconds = payload["stats"]
+        return ShardSnapshot(
+            shard_id=self.shard_id,
+            stats=ServiceStats(int(n_requests), int(n_records), float(total_seconds)),
+            monitor_state=payload["monitor_state"],
+            cold_start_seconds=float(payload["cold_start_seconds"]),
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._conn.send(("close",))
+                self._conn.poll(5.0) and self._conn.recv()
+            except (OSError, ValueError, EOFError):
+                pass
+        self._process.join(timeout=10.0)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._conn.close()

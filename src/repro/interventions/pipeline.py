@@ -43,6 +43,7 @@ from repro.interventions.registry import (
 )
 from repro.learners.base import BaseEstimator, clone as clone_estimator
 from repro.learners.registry import make_learner
+from repro.utils.parallel import thread_map
 from repro.utils.random import spawn_seeds
 
 DatasetSource = Union[str, Dataset, DatasetSplit]
@@ -199,6 +200,7 @@ class FairnessPipeline(BaseEstimator):
         degrees: Sequence[float],
         *,
         seed: Optional[int] = None,
+        n_jobs: Optional[int] = None,
     ) -> List[DegreeSweepPoint]:
         """Evaluate a grid of intervention degrees without re-profiling.
 
@@ -206,6 +208,11 @@ class FairnessPipeline(BaseEstimator):
         automatic search runs) and its ``weights_for_degree`` re-derives the
         training weights per degree; only the final model is retrained for
         each point.  Requires ``capabilities.supports_degree_sweep``.
+
+        ``n_jobs`` retrains the per-degree final models in worker threads
+        (falling back to the pipeline's ``fit_n_jobs`` when ``None``).  Each
+        point builds its own seeded learner on private weights, so the sweep
+        is bit-identical to the serial loop, in degree order.
         """
         capabilities = self._capabilities()
         if not capabilities.supports_degree_sweep:
@@ -219,17 +226,17 @@ class FairnessPipeline(BaseEstimator):
             seed, extra_params={capabilities.degree_param: 0.0}
         )
         intervention.fit(split.train, validation=split.validation)
-        points: List[DegreeSweepPoint] = []
-        for degree in degrees:
+
+        def evaluate(degree) -> DegreeSweepPoint:
             weights = intervention.weights_for_degree(float(degree))
             model = self._final_learner(seed)
             model.fit(split.train.X, split.train.y, sample_weight=weights)
             predictions = model.predict(split.deploy.X)
             report = evaluate_predictions(split.deploy.y, predictions, split.deploy.group)
-            points.append(
-                DegreeSweepPoint(degree=float(degree), report=report, predictions=predictions)
-            )
-        return points
+            return DegreeSweepPoint(degree=float(degree), report=report, predictions=predictions)
+
+        n_jobs = self.fit_n_jobs if n_jobs is None else n_jobs
+        return thread_map(evaluate, list(degrees), n_jobs=n_jobs)
 
     # ------------------------------------------------------------ plumbing
     def _capabilities(self) -> InterventionCapabilities:

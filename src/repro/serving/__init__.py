@@ -34,6 +34,20 @@ only through a service (which locks around ``update``) or add your own
 lock.  Loaded artifacts and :class:`~repro.interventions.DeployedModel`
 instances are read-only at predict time and safe to share.
 
+Scaling out
+-----------
+One service on one thread pool is the single-shard case.  To serve the same
+artifact from N shards, see :mod:`repro.fleet`: ``load_artifact(...,
+mmap_mode="r")`` memory-maps the payload so every extra worker's cold start
+is O(manifest) rather than O(weights), per-shard monitors stay mergeable —
+:meth:`FairnessMonitor.merge` folds their ``state_dict``s into the exact
+state one monitor would hold after observing the union stream (chunks carry
+monotone sequence stamps, so the merge is associative, order-invariant, and
+bit-identical) — and :class:`~repro.fleet.FleetService` fans micro-batches
+out to the shards while aggregating their :class:`ServiceStats` and merged
+windowed report.  Everything here stays valid per shard; the fleet layer
+only adds dispatch and aggregation on top.
+
 Quickstart::
 
     from repro import FairnessPipeline

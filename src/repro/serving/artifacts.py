@@ -110,14 +110,36 @@ _SERIALIZABLE_CLASSES: Dict[str, Type[BaseEstimator]] = {
 }
 
 
-def register_serializable(cls: Type[BaseEstimator]) -> Type[BaseEstimator]:
+# Classes whose estimators mutate their state arrays in place (at predict or
+# resume time).  Memory-mapped loading hands out read-only views shared
+# across worker processes, so these classes refuse mmap_mode instead of
+# failing later with a cryptic "array is read-only".
+_MMAP_UNSAFE_CLASSES: set = set()
+
+
+def register_serializable(cls: Optional[Type[BaseEstimator]] = None, *, mutates_arrays: bool = False):
     """Allowlist an estimator class for artifact (de)serialization.
 
     Usable as a decorator by downstream code that defines custom learners or
-    interventions and wants them to round-trip through artifacts.
+    interventions and wants them to round-trip through artifacts.  Pass
+    ``mutates_arrays=True`` for estimators that write into their state
+    arrays after loading; such classes are rejected by
+    ``load_artifact(..., mmap_mode="r")``, whose arrays are read-only views
+    shared across processes.
     """
-    _SERIALIZABLE_CLASSES[f"{cls.__module__}.{cls.__qualname__}"] = cls
-    return cls
+
+    def apply(target: Type[BaseEstimator]) -> Type[BaseEstimator]:
+        key = f"{target.__module__}.{target.__qualname__}"
+        _SERIALIZABLE_CLASSES[key] = target
+        if mutates_arrays:
+            _MMAP_UNSAFE_CLASSES.add(key)
+        else:
+            _MMAP_UNSAFE_CLASSES.discard(key)
+        return target
+
+    if cls is None:
+        return apply
+    return apply(cls)
 
 
 # --------------------------------------------------------------------------
@@ -312,10 +334,15 @@ class _Encoder:
 
 
 class _Decoder:
-    """Decode the JSON tree produced by :class:`_Encoder`."""
+    """Decode the JSON tree produced by :class:`_Encoder`.
 
-    def __init__(self, arrays) -> None:
+    ``mmap`` marks the arrays as read-only memory maps; estimator classes
+    registered with ``mutates_arrays=True`` are then refused up front.
+    """
+
+    def __init__(self, arrays, *, mmap: bool = False) -> None:
         self.arrays = arrays
+        self.mmap = mmap
         self._shared: Dict[int, Any] = {}
 
     def _fetch(self, ref: str) -> np.ndarray:
@@ -379,6 +406,13 @@ class _Decoder:
                 f"Artifact references estimator class {key}, which this build does "
                 "not provide (learner mismatch); register the class with "
                 "repro.serving.artifacts.register_serializable before loading"
+            )
+        if self.mmap and key in _MMAP_UNSAFE_CLASSES:
+            raise ArtifactError(
+                f"Estimator class {key} is registered with mutates_arrays=True "
+                "(it writes into its state arrays in place); memory-mapped "
+                "loading hands out read-only shared views — load this artifact "
+                "without mmap_mode"
             )
         estimator = cls(**self.decode(node["params"]))
         estimator.load_state_dict(self.decode(node["state"]))
@@ -564,13 +598,73 @@ def describe_artifact(path) -> Dict[str, Any]:
     }
 
 
-def load_artifact(path):
+MMAP_CACHE_DIR = "payload.mmap"
+"""Sibling directory of extracted ``.npy`` members backing mmap loads."""
+
+
+def _mmap_payload(target: Path, payload_path: Path, payload_sha: str) -> Dict[str, np.ndarray]:
+    """Memory-map the payload arrays through an extracted ``.npy`` cache.
+
+    ``payload.npz`` is deflate-compressed, which numpy cannot memory-map, so
+    the members are extracted *once* into ``payload.mmap/`` next to it (keyed
+    by the payload's sha256 — a stale cache from an overwritten artifact is
+    re-extracted, never reused) and every subsequent load memory-maps the
+    raw ``.npy`` files.  The OS page cache then shares one physical copy of
+    the weights across all worker processes serving the artifact: per-worker
+    cold start is O(manifest), not O(weights).
+    """
+    cache_dir = target / MMAP_CACHE_DIR
+    tag_path = cache_dir / "payload.sha256"
+    try:
+        fresh = tag_path.is_file() and tag_path.read_text(encoding="utf-8").strip() == payload_sha
+    except OSError:
+        fresh = False
+    try:
+        if not fresh:
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            if tag_path.is_file():
+                tag_path.unlink()
+            with np.load(payload_path, allow_pickle=False) as payload:
+                for name in payload.files:
+                    np.save(cache_dir / f"{name}.npy", payload[name])
+            # The tag is written last: a crash mid-extraction leaves an
+            # untagged cache that the next load redoes from the payload.
+            tag_path.write_text(payload_sha + "\n", encoding="utf-8")
+        with np.load(payload_path, allow_pickle=False) as payload:
+            names = list(payload.files)
+        return {
+            name: np.load(cache_dir / f"{name}.npy", mmap_mode="r", allow_pickle=False)
+            for name in names
+        }
+    except (OSError, ValueError) as error:
+        raise ArtifactError(
+            f"Cannot memory-map artifact payload at {payload_path} "
+            f"(extraction cache {cache_dir}): {error}"
+        ) from error
+
+
+def load_artifact(path, *, mmap_mode: Optional[str] = None):
     """Load an artifact saved by :func:`save_artifact` and rebuild the object.
 
     The payload checksum is verified before any array is consumed, so a
     truncated or tampered payload raises :class:`ArtifactError` instead of
     silently yielding a different model.
+
+    ``mmap_mode="r"`` memory-maps the payload arrays instead of materializing
+    them: members are extracted once into a checksum-tagged ``payload.mmap/``
+    cache beside the payload, and every load after that maps the raw files —
+    N worker processes serving one artifact share a single physical copy of
+    the weights.  The checksum is verified on *every* load (mmap included)
+    before the cache is trusted.  Artifacts containing estimator classes
+    registered with ``mutates_arrays=True`` refuse mmap (the views are
+    read-only); only ``"r"`` is supported — the cache is shared, so writable
+    modes would let one worker corrupt every other worker's model.
     """
+    if mmap_mode not in (None, "r"):
+        raise ArtifactError(
+            f"Unsupported mmap_mode {mmap_mode!r}: only 'r' (read-only shared "
+            "mapping) is meaningful for a serving artifact"
+        )
     target = Path(path)
     manifest = read_manifest(target)
     payload_info = manifest.get("payload") or {}
@@ -578,11 +672,15 @@ def load_artifact(path):
     if not payload_path.is_file():
         raise ArtifactError(f"Artifact payload missing at {payload_path}")
     expected = payload_info.get("sha256")
-    if expected is not None and _sha256(payload_path) != expected:
+    actual = _sha256(payload_path)
+    if expected is not None and actual != expected:
         raise ArtifactError(
             f"Artifact payload at {payload_path} does not match its manifest "
             "checksum (corrupted or tampered payload)"
         )
+    if mmap_mode is not None:
+        arrays = _mmap_payload(target, payload_path, actual)
+        return _Decoder(arrays, mmap=True).decode(manifest.get("root"))
     try:
         with np.load(payload_path, allow_pickle=False) as payload:
             arrays = {name: payload[name] for name in payload.files}

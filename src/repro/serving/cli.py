@@ -101,6 +101,7 @@ def cmd_fit(args) -> int:
         size_factor=args.size_factor,
         seed=args.seed,
         intervention_params=parse_params(args.param),
+        fit_n_jobs=args.n_jobs,
     )
     result = pipeline.run()
     payload: Dict[str, object] = {
@@ -250,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra intervention constructor parameter (repeatable; value parsed as JSON)",
     )
     fit.add_argument("--out", help="artifact directory to write")
+    fit.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="worker threads for profiling/tuning inside the fit "
+        "(results are bit-identical to a serial fit; -1 = all cores)",
+    )
     fit.set_defaults(func=cmd_fit)
 
     save = sub.add_parser(

@@ -39,13 +39,29 @@ window aggregates, baselines), and it is registered with
 :func:`repro.serving.artifacts.register_serializable` — a long replay can be
 paused into an artifact and resumed with bit-identical windowed reports and
 alarm decisions.
+
+The monitor is also **mergeable**: every update chunk carries a monotone
+*sequence number* (self-assigned, or stamped globally by a
+:class:`~repro.fleet.FleetService` fanning one stream across shards), window
+float statistics are folded from the retained chunks in sequence order
+(never carried as running add/subtract aggregates, whose value would depend
+on evicted history), and :meth:`FairnessMonitor.merge` /
+:meth:`FairnessMonitor.merge_state_dicts` reduce per-shard windows into one
+monitor that is bit-identical — same ``state_dict``, reports, statuses, and
+alarms — to a single monitor that observed the union stream.  Merging is
+associative and order-invariant: chunks are reordered by sequence, every
+monitor records its eviction horizon (the highest sequence it ever evicted
+— anything below it is provably union-evicted, since front-first eviction
+drops a time-prefix), and the merge replay discards chunks below the
+combined horizon before evicting afresh, so any merge tree converges to the
+same state.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -193,21 +209,31 @@ class FairnessMonitor(BaseEstimator):
         self.group_tolerance = float(group_tolerance)
 
         # Per retained batch: (counts, batch size, violation sum, violation
-        # rows, log-density sum, log-density rows).
-        self._chunks: Deque[Tuple[StreamCounts, int, float, int, float, int]] = deque()
+        # rows, log-density sum, log-density rows, sequence number).  The
+        # integer aggregates below are running (integer add/subtract is
+        # exact); the float window sums are *folded from the chunks* on
+        # demand so their value depends only on the retained window, never
+        # on the add/subtract history of evicted chunks — the property that
+        # makes shard merging bit-identical.
+        self._chunks: Deque[Tuple[StreamCounts, int, float, int, float, int, int]] = deque()
         self._window_counts = StreamCounts()
         self._window_rows = 0
-        self._violation_sum = 0.0
         self._violation_rows = 0
-        self._log_density_sum = 0.0
         self._log_density_rows = 0
+        self._next_sequence = 0
+        # Highest sequence number ever evicted (-1 before any eviction): the
+        # eviction horizon.  Merging drops chunks at or below any input's
+        # horizon — a chunk one sub-monitor evicted would have been evicted
+        # by the union stream too — which is what makes staged merges agree
+        # with the monolithic one (see merge_state_dicts).
+        self._evicted_through = -1
         self._baseline_violation: Optional[float] = None
         self._baseline_log_density: Optional[float] = None
         self._baseline_group_fraction: Optional[float] = None
         self.n_seen = 0
 
     # ----------------------------------------------------------- updating
-    def update(self, y_pred, group=None, *, y_true=None, X=None) -> None:
+    def update(self, y_pred, group=None, *, y_true=None, X=None, sequence=None) -> None:
         """Fold one served batch into the window.
 
         Parameters
@@ -229,6 +255,13 @@ class FairnessMonitor(BaseEstimator):
             Optional feature rows; scored for conformance violation when the
             monitor holds a profile and for log-density when it holds a
             density estimator.
+        sequence:
+            Optional global position of this batch in the stream.  Left
+            ``None`` (a single monitor consuming its own stream) the monitor
+            self-assigns 0, 1, 2, …; a fleet front-end fanning one stream
+            across shards stamps each dispatched batch with the stream-wide
+            sequence instead, which is what lets :meth:`merge` reconstruct
+            the union window in arrival order.
         """
         counts = (
             StreamCounts.from_batch(y_pred, group, y_true)
@@ -246,27 +279,49 @@ class FairnessMonitor(BaseEstimator):
             log_densities = self.log_density_scores(X)
             density_sum = float(log_densities.sum())
             density_scored = int(log_densities.shape[0])
-        self._chunks.append((counts, size, violation_sum, scored, density_sum, density_scored))
+        if sequence is None:
+            sequence = self._next_sequence
+        else:
+            sequence = int(sequence)
+            if sequence < 0:
+                raise ValidationError("sequence numbers must be non-negative")
+        self._next_sequence = max(self._next_sequence, sequence + 1)
+        self._chunks.append(
+            (counts, size, violation_sum, scored, density_sum, density_scored, sequence)
+        )
         self._window_counts += counts
         self._window_rows += size
-        self._violation_sum += violation_sum
         self._violation_rows += scored
-        self._log_density_sum += density_sum
         self._log_density_rows += density_scored
         self.n_seen += size
         self._evict()
 
     def _evict(self) -> None:
         while self._window_rows > self.window_size and len(self._chunks) > 1:
-            counts, size, violation_sum, scored, density_sum, density_scored = (
-                self._chunks.popleft()
-            )
+            counts, size, _, scored, _, density_scored, sequence = self._chunks.popleft()
             self._window_counts -= counts
             self._window_rows -= size
-            self._violation_sum -= violation_sum
             self._violation_rows -= scored
-            self._log_density_sum -= density_sum
             self._log_density_rows -= density_scored
+            if sequence > self._evicted_through:
+                self._evicted_through = sequence
+
+    def _fold_window_sums(self) -> Tuple[float, float]:
+        """Window float sums folded left-to-right over the retained chunks.
+
+        Identical chunk deques fold to identical floats, so a merged monitor
+        whose replayed deque matches the union monitor's reports the same
+        means bit for bit — the determinism running aggregates cannot offer
+        (their value carries the add/subtract history of evicted chunks).
+        The deque is short (window_size / batch size entries), so the fold is
+        a negligible O(#chunks) per status call.
+        """
+        violation_sum = 0.0
+        density_sum = 0.0
+        for _, _, chunk_violation, _, chunk_density, _, _ in self._chunks:
+            violation_sum += chunk_violation
+            density_sum += chunk_density
+        return violation_sum, density_sum
 
     # -------------------------------------------------------------- drift
     def _numeric_columns(self, X, width_default: int) -> np.ndarray:
@@ -356,10 +411,32 @@ class FairnessMonitor(BaseEstimator):
         """The fixed baseline minority fraction (``None`` until set)."""
         return self._baseline_group_fraction
 
+    def config_clone(self) -> "FairnessMonitor":
+        """An *empty* monitor sharing this monitor's configuration.
+
+        The profile and density estimator are shared by reference (both are
+        read-only at scoring time), not copied — this is the cheap way to
+        stamp out per-shard monitors, and the target a fleet aggregator loads
+        merged shard state into.  Baselines and window contents are not
+        carried over.
+        """
+        return FairnessMonitor(
+            window_size=self.window_size,
+            profile=self.profile,
+            density_estimator=self.density_estimator,
+            n_numeric_features=self.n_numeric_features,
+            drift_factor=self.drift_factor,
+            min_violation=self.min_violation,
+            min_samples=self.min_samples,
+            density_drop=self.density_drop,
+            group_tolerance=self.group_tolerance,
+        )
+
     def drift_status(self) -> DriftStatus:
         """Current state of the conformance-drift alarm."""
         n = self._violation_rows
-        mean = self._violation_sum / n if n else 0.0
+        violation_sum, _ = self._fold_window_sums()
+        mean = violation_sum / n if n else 0.0
         baseline = self._baseline_violation
         if baseline is None:
             return DriftStatus(n, mean, None, None, False)
@@ -374,7 +451,8 @@ class FairnessMonitor(BaseEstimator):
     def density_status(self) -> DensityDriftStatus:
         """Current state of the density-drift signal."""
         n = self._log_density_rows
-        mean = self._log_density_sum / n if n else 0.0
+        _, density_sum = self._fold_window_sums()
+        mean = density_sum / n if n else 0.0
         baseline = self._baseline_log_density
         if baseline is None:
             return DensityDriftStatus(n, mean, None, None, False)
@@ -451,11 +529,11 @@ class FairnessMonitor(BaseEstimator):
     # ------------------------------------------------------- checkpointing
     _state_attributes = (
         "n_seen_",
+        "next_sequence_",
+        "evicted_through_",
         "window_counts_",
         "window_rows_",
-        "violation_sum_",
         "violation_rows_",
-        "log_density_sum_",
         "log_density_rows_",
         "baseline_violation_",
         "baseline_log_density_",
@@ -463,25 +541,27 @@ class FairnessMonitor(BaseEstimator):
         "chunk_counts_",
         "chunk_rows_",
         "chunk_sums_",
+        "chunk_sequences_",
     )
 
     def state_dict(self) -> Dict[str, Any]:
         """Pack the full sliding window into flat, artifact-storable state.
 
-        The window *aggregates* are persisted verbatim rather than recomputed
-        from the retained chunks on load: the float sums carry the exact
-        add/subtract history of the original monitor, and re-summing the
-        chunks could differ in the last ulp — persisting them is what makes a
-        pause/resume cycle bit-identical to an uninterrupted run.
+        The per-chunk float sums are the *only* float window state — window
+        means are folded from them in sequence order on demand — so the state
+        is exactly reproducible: restoring the chunks restores every report
+        and status bit for bit, and two monitors with equal states are
+        indistinguishable.  That is also what makes states comparable with
+        ``==`` in merge tests.
         """
         chunks = list(self._chunks)
         return {
             "n_seen_": self.n_seen,
+            "next_sequence_": self._next_sequence,
+            "evicted_through_": self._evicted_through,
             "window_counts_": self._window_counts.counts.copy(),
             "window_rows_": self._window_rows,
-            "violation_sum_": self._violation_sum,
             "violation_rows_": self._violation_rows,
-            "log_density_sum_": self._log_density_sum,
             "log_density_rows_": self._log_density_rows,
             "baseline_violation_": self._baseline_violation,
             "baseline_log_density_": self._baseline_log_density,
@@ -492,16 +572,22 @@ class FairnessMonitor(BaseEstimator):
                 else np.zeros((0, 2, 6), dtype=np.int64)
             ),
             "chunk_rows_": np.array(
-                [[size, scored, density_scored] for _, size, _, scored, _, density_scored in chunks],
+                [
+                    [size, scored, density_scored]
+                    for _, size, _, scored, _, density_scored, _ in chunks
+                ],
                 dtype=np.int64,
             ).reshape(len(chunks), 3),
             "chunk_sums_": np.array(
                 [
                     [violation_sum, density_sum]
-                    for _, _, violation_sum, _, density_sum, _ in chunks
+                    for _, _, violation_sum, _, density_sum, _, _ in chunks
                 ],
                 dtype=np.float64,
             ).reshape(len(chunks), 2),
+            "chunk_sequences_": np.array(
+                [sequence for *_, sequence in chunks], dtype=np.int64
+            ),
         }
 
     def load_state_dict(self, state: Dict[str, Any]) -> "FairnessMonitor":
@@ -526,7 +612,10 @@ class FairnessMonitor(BaseEstimator):
         chunk_counts = np.asarray(state["chunk_counts_"], dtype=np.int64)
         chunk_rows = np.asarray(state["chunk_rows_"], dtype=np.int64)
         chunk_sums = np.asarray(state["chunk_sums_"], dtype=np.float64)
-        if not (len(chunk_counts) == len(chunk_rows) == len(chunk_sums)):
+        chunk_sequences = np.asarray(state["chunk_sequences_"], dtype=np.int64)
+        if not (
+            len(chunk_counts) == len(chunk_rows) == len(chunk_sums) == len(chunk_sequences)
+        ):
             raise ValidationError("FairnessMonitor chunk state arrays disagree in length")
         self._chunks = deque(
             (
@@ -536,6 +625,7 @@ class FairnessMonitor(BaseEstimator):
                 int(chunk_rows[i, 1]),
                 float(chunk_sums[i, 1]),
                 int(chunk_rows[i, 2]),
+                int(chunk_sequences[i]),
             )
             for i in range(len(chunk_counts))
         )
@@ -543,10 +633,10 @@ class FairnessMonitor(BaseEstimator):
             np.asarray(state["window_counts_"], dtype=np.int64).copy()
         )
         self._window_rows = int(state["window_rows_"])
-        self._violation_sum = float(state["violation_sum_"])
         self._violation_rows = int(state["violation_rows_"])
-        self._log_density_sum = float(state["log_density_sum_"])
         self._log_density_rows = int(state["log_density_rows_"])
+        self._next_sequence = int(state["next_sequence_"])
+        self._evicted_through = int(state["evicted_through_"])
         for attribute, key in (
             ("_baseline_violation", "baseline_violation_"),
             ("_baseline_log_density", "baseline_log_density_"),
@@ -556,3 +646,166 @@ class FairnessMonitor(BaseEstimator):
             setattr(self, attribute, None if value is None else float(value))
         self.n_seen = int(state["n_seen_"])
         return self
+
+    # ------------------------------------------------------------- merging
+    @classmethod
+    def merge_state_dicts(
+        cls, states: Sequence[Dict[str, Any]], *, window_size: int
+    ) -> Dict[str, Any]:
+        """Reduce per-shard window states into the union monitor's state.
+
+        The reduction replays every retained chunk, ordered by its sequence
+        number, through the same append-then-evict loop a live monitor runs.
+        Why this is *exactly* the union monitor's state:
+
+        * a shard retains the maximal suffix of *its* chunks whose rows fit
+          the window; the union monitor retains the maximal fitting suffix of
+          *all* chunks — a subset of the shards' union, so no needed chunk
+          was lost to shard-local eviction;
+        * eviction is sound across scopes: a sub-monitor evicts a chunk only
+          when its *own* suffix rows overflow the window, and the union
+          stream's suffix rows are never smaller — so anything any input
+          evicted, the union monitor evicted too.  Each monitor therefore
+          records its **eviction horizon** (``evicted_through_``, the
+          highest sequence it ever evicted), and the merge first drops every
+          chunk at or below the inputs' combined horizon: union eviction is
+          front-first, so evicting sequence *s* implies evicting everything
+          older.  Without the horizon, a staged merge that evicted under its
+          partial view would later accept an even older chunk from a third
+          input that the monolithic replay rejects — the one way staged and
+          monolithic merges could disagree.  With it, any merge tree
+          replays to the same retained suffix *and* the same horizon, which
+          makes the merge associative;
+        * sorting by sequence erases argument order — which makes it
+          commutative — and a duplicate sequence number (the same stream
+          position claimed by two shards) is rejected as ambiguous.
+
+        ``window_size`` must be the shards' common window; baselines must
+        agree across shards (they are fixed from the same training split).
+        Raises :class:`~repro.exceptions.ValidationError` on any mismatch.
+        """
+        if not states:
+            raise ValidationError("merge_state_dicts needs at least one monitor state")
+        if window_size < 1:
+            raise ValidationError("window_size must be at least 1")
+        baselines: Dict[str, Any] = {}
+        for key in ("baseline_violation_", "baseline_log_density_", "baseline_group_fraction_"):
+            values = [state[key] for state in states]
+            first = values[0]
+            for value in values[1:]:
+                if (value is None) != (first is None) or (
+                    value is not None and float(value) != float(first)
+                ):
+                    raise ValidationError(
+                        f"Cannot merge monitor states with diverging {key[:-1]} "
+                        f"({first!r} vs {value!r}); shards must share baselines "
+                        "fixed from the same training split"
+                    )
+            baselines[key] = first
+        chunks = []
+        for state in states:
+            chunk_counts = np.asarray(state["chunk_counts_"], dtype=np.int64)
+            chunk_rows = np.asarray(state["chunk_rows_"], dtype=np.int64)
+            chunk_sums = np.asarray(state["chunk_sums_"], dtype=np.float64)
+            chunk_sequences = np.asarray(state["chunk_sequences_"], dtype=np.int64)
+            if not (
+                len(chunk_counts) == len(chunk_rows) == len(chunk_sums) == len(chunk_sequences)
+            ):
+                raise ValidationError("FairnessMonitor chunk state arrays disagree in length")
+            for i in range(len(chunk_counts)):
+                chunks.append(
+                    (
+                        int(chunk_sequences[i]),
+                        (
+                            StreamCounts(chunk_counts[i].copy()),
+                            int(chunk_rows[i, 0]),
+                            float(chunk_sums[i, 0]),
+                            int(chunk_rows[i, 1]),
+                            float(chunk_sums[i, 1]),
+                            int(chunk_rows[i, 2]),
+                            int(chunk_sequences[i]),
+                        ),
+                    )
+                )
+        chunks.sort(key=lambda pair: pair[0])
+        for (a, _), (b, _) in zip(chunks, chunks[1:]):
+            if a == b:
+                raise ValidationError(
+                    f"Cannot merge monitor states: sequence {a} is claimed by two "
+                    "chunks (the same stream position served by two shards); "
+                    "assign each dispatched batch a unique stream-wide sequence"
+                )
+        evicted_through = max(int(state["evicted_through_"]) for state in states)
+        merged = cls(window_size=window_size)
+        merged._evicted_through = evicted_through
+        for sequence, chunk in chunks:
+            if sequence <= evicted_through:
+                # Some input already evicted this stream position or a newer
+                # one, so the union monitor evicted this chunk too (front-
+                # first eviction drops a time-prefix).
+                continue
+            merged._chunks.append(chunk)
+            merged._window_counts += chunk[0]
+            merged._window_rows += chunk[1]
+            merged._violation_rows += chunk[3]
+            merged._log_density_rows += chunk[5]
+            merged._evict()
+        merged.n_seen = sum(int(state["n_seen_"]) for state in states)
+        merged._next_sequence = max(int(state["next_sequence_"]) for state in states)
+        for key, value in baselines.items():
+            setattr(merged, f"_{key[:-1]}", None if value is None else float(value))
+        return merged.state_dict()
+
+    @classmethod
+    def merge(cls, *monitors: "FairnessMonitor") -> "FairnessMonitor":
+        """Merge per-shard monitors into one union-stream monitor.
+
+        The result carries the first monitor's configuration (window size,
+        thresholds, profile, density estimator) and the replayed union
+        window; its ``state_dict``, windowed report, and every status are
+        bit-identical to a single monitor that observed all the shards'
+        batches in sequence order.  All monitors must share the same scalar
+        configuration and baselines; see :meth:`merge_state_dicts` for the
+        merge semantics and failure modes.
+        """
+        if not monitors:
+            raise ValidationError("merge needs at least one monitor")
+        first = monitors[0]
+        scalar_keys = (
+            "window_size",
+            "drift_factor",
+            "min_violation",
+            "min_samples",
+            "density_drop",
+            "group_tolerance",
+            "n_numeric_features",
+        )
+        for other in monitors[1:]:
+            if not isinstance(other, FairnessMonitor):
+                raise ValidationError(
+                    f"merge expects FairnessMonitor instances, got {type(other).__name__}"
+                )
+            mismatched = [
+                key
+                for key in scalar_keys
+                if getattr(other, key) != getattr(first, key)
+            ]
+            if mismatched:
+                raise ValidationError(
+                    "Cannot merge monitors with diverging configuration: "
+                    f"{', '.join(mismatched)} differ (shards of one fleet must "
+                    "share a monitor configuration)"
+                )
+            if (other.profile is None) != (first.profile is None) or (
+                other.density_estimator is None
+            ) != (first.density_estimator is None):
+                raise ValidationError(
+                    "Cannot merge monitors with diverging channels: every shard "
+                    "must hold the same profile / density estimator (or none)"
+                )
+        merged = first.config_clone()
+        state = cls.merge_state_dicts(
+            [monitor.state_dict() for monitor in monitors],
+            window_size=first.window_size,
+        )
+        return merged.load_state_dict(state)

@@ -136,13 +136,17 @@ class PredictionService:
         """Whether requests must carry group membership (capability-driven)."""
         return self.model.requires_group
 
-    def predict(self, X, group=None, *, y_true=None) -> np.ndarray:
+    def predict(self, X, group=None, *, y_true=None, sequence=None) -> np.ndarray:
         """Serve one request of ``len(X)`` records and return the predictions.
 
         ``group`` is required only when the model's intervention declared
         ``requires_group_at_predict``; otherwise it is optional audit
         information consumed by the attached monitor (never by the model).
         ``y_true`` (optional, audit) likewise only feeds the monitor.
+        ``sequence`` (optional) stamps the monitor chunk with a stream-wide
+        position — a :class:`~repro.fleet.FleetService` fanning one stream
+        across shards passes it so per-shard monitor windows stay mergeable
+        into the union view; standalone callers leave it ``None``.
 
         Safe to call from multiple threads; raises
         :class:`~repro.exceptions.ValidationError` once the service has been
@@ -181,7 +185,7 @@ class PredictionService:
             if self.monitor is not None:
                 # Group-blind requests still feed the monitor: the drift alarm
                 # scores features alone, only the fairness counts need `group`.
-                self.monitor.update(predictions, group, y_true=y_true, X=X)
+                self.monitor.update(predictions, group, y_true=y_true, X=X, sequence=sequence)
         return predictions
 
     def predict_records(self, numeric, categorical=None, group=None, *, y_true=None) -> np.ndarray:

@@ -54,6 +54,7 @@ def _prepare(args) -> tuple:
             size_factor=args.size_factor,
             seed=args.seed,
             intervention_params=parse_params(args.param),
+            fit_n_jobs=getattr(args, "n_jobs", None),
         ).run()
         artifact = str(
             save_artifact(
@@ -191,6 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="append",
             metavar="KEY=VALUE",
             help="extra intervention constructor parameter (repeatable; JSON value)",
+        )
+        p.add_argument(
+            "--n-jobs",
+            type=int,
+            default=None,
+            help="worker threads for profiling/tuning when fitting here "
+            "(bit-identical to serial; -1 = all cores)",
         )
         p.add_argument("--steps", type=int, default=40, help="stream steps on the timeline")
         p.add_argument(

@@ -115,7 +115,9 @@ class ReplayHarness:
         A :class:`~repro.serving.PredictionService` with a
         :class:`~repro.serving.FairnessMonitor` attached (the monitor is the
         thing under test; a replay without one raises
-        :class:`~repro.exceptions.SimulationError`).
+        :class:`~repro.exceptions.SimulationError`).  Anything speaking the
+        same protocol works too — a :class:`~repro.fleet.FleetService` whose
+        ``monitor`` property merges the shard windows replays identically.
     """
 
     def __init__(self, service: PredictionService) -> None:
@@ -125,7 +127,12 @@ class ReplayHarness:
                 "attached; construct the service with monitor="
             )
         self.service = service
-        self.monitor = service.monitor
+
+    @property
+    def monitor(self):
+        """The monitor under test (re-read per access: a fleet's merged
+        monitor is rebuilt from the shard windows as traffic flows)."""
+        return self.service.monitor
 
     # ----------------------------------------------------------- channels
     def _alarm_channels(self) -> Tuple[str, ...]:

@@ -176,20 +176,49 @@ class SuiteRunner:
             group_tolerance=self.group_tolerance,
         )
 
-    def make_service(self) -> PredictionService:
-        """A fresh monitored service with the shared baselines installed."""
+    def _baseline_monitor(self) -> FairnessMonitor:
         monitor = self._fresh_monitor()
         if self._violation_baseline is not None:
             monitor.set_drift_baseline(self._violation_baseline)
         if self._density_baseline is not None:
             monitor.set_density_baseline(self._density_baseline)
         monitor.set_group_baseline(self._group_baseline)
-        return PredictionService(
-            self.model,
-            batch_size=self.service_batch_size,
-            max_workers=self.max_workers,
-            monitor=monitor,
-        )
+        return monitor
+
+    def make_service(self, *, shards: Optional[int] = None):
+        """A fresh monitored service with the shared baselines installed.
+
+        With ``shards=N`` the returned service is a
+        :class:`~repro.fleet.FleetService` over N in-process shard workers,
+        each serving the same model with its own fresh baseline-installed
+        monitor.  Round-robin dispatch plus the fleet's sequence stamping
+        make its merged monitor — and therefore the replay verdict —
+        bit-identical to the single-service run.
+        """
+        if shards is None or int(shards) <= 1:
+            return PredictionService(
+                self.model,
+                batch_size=self.service_batch_size,
+                max_workers=self.max_workers,
+                monitor=self._baseline_monitor(),
+            )
+        # Imported lazily: repro.fleet's replay helpers import this module.
+        from repro.fleet.service import FleetService
+        from repro.fleet.workers import InlineShardWorker
+
+        workers = [
+            InlineShardWorker(
+                PredictionService(
+                    self.model,
+                    batch_size=self.service_batch_size,
+                    max_workers=self.max_workers,
+                    monitor=self._baseline_monitor(),
+                ),
+                shard_id=shard_id,
+            )
+            for shard_id in range(int(shards))
+        ]
+        return FleetService(workers)
 
     def replay_scenario(
         self,
@@ -200,12 +229,13 @@ class SuiteRunner:
         n_steps: int = 40,
         batch_size: int = 128,
         seed: int = 0,
+        shards: Optional[int] = None,
     ) -> ReplayResult:
         """Replay one scenario over ``deploy`` traffic with a fresh monitor."""
         stream = TrafficStream(
             deploy, scenario, n_steps=n_steps, batch_size=batch_size, random_state=seed
         )
-        with self.make_service() as service:
+        with self.make_service(shards=shards) as service:
             return ReplayHarness(service).replay(stream, label=label)
 
     def run(
@@ -216,6 +246,7 @@ class SuiteRunner:
         n_steps: int = 40,
         batch_size: int = 128,
         seed: int = 0,
+        shards: Optional[int] = None,
     ) -> List[Tuple[str, ReplayResult]]:
         """Replay every scenario of a named suite; returns ``(label, result)``."""
         return [
@@ -228,6 +259,7 @@ class SuiteRunner:
                     n_steps=n_steps,
                     batch_size=batch_size,
                     seed=seed,
+                    shards=shards,
                 ),
             )
             for label, scenario in make_suite(suite)

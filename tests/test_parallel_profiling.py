@@ -232,3 +232,33 @@ class TestThreadMapContract:
             thread_map(boom, range(5), n_jobs=2)
         with pytest.raises(RuntimeError):
             thread_map(boom, range(5), n_jobs=1)
+
+
+class TestTuningParallel:
+    def test_tune_intervention_degree_n_jobs_bit_identical(self, drifted_split):
+        from repro.core.tuning import tune_intervention_degree
+        from repro.learners.registry import make_learner
+
+        estimator = ConFair(alpha_u=1.0).fit(drifted_split.train)
+        kwargs = {
+            "weight_fn": lambda degree: estimator.compute_weights(alpha_u=degree).weights,
+            "train": drifted_split.train,
+            "validation": drifted_split.validation,
+            "learner": make_learner("lr", random_state=0),
+            "candidate_degrees": (0.0, 0.5, 1.0, 2.0, 4.0),
+        }
+        serial = tune_intervention_degree(**kwargs)
+        parallel = tune_intervention_degree(n_jobs=4, **kwargs)
+        assert serial == parallel
+        assert serial.trials == parallel.trials
+
+    def test_sweep_degrees_explicit_n_jobs_bit_identical(self, drifted_split):
+        pipeline = FairnessPipeline("confair", dataset=drifted_split, seed=11)
+        serial = pipeline.sweep_degrees((0.0, 1.0, 2.0))
+        parallel = pipeline.sweep_degrees((0.0, 1.0, 2.0), n_jobs=4)
+        for point_serial, point_parallel in zip(serial, parallel):
+            assert point_serial.degree == point_parallel.degree
+            assert point_serial.report == point_parallel.report
+            np.testing.assert_array_equal(
+                point_serial.predictions, point_parallel.predictions
+            )

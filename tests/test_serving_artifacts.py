@@ -236,3 +236,88 @@ class TestKernelDensityRoundTrip:
         (path / MANIFEST_NAME).write_text(json.dumps(manifest), encoding="utf-8")
         with pytest.raises(ArtifactError, match="hyper_octree"):
             load_artifact(path)
+
+
+class TestMmapLoading:
+    """``load_artifact(mmap_mode="r")``: shared read-only payload views."""
+
+    @pytest.mark.parametrize("intervention", ["confair", "kam"])
+    def test_mmap_predictions_bit_identical(self, tmp_path, serving_split, intervention):
+        result = _run(serving_split, intervention, "lr")
+        path = save_artifact(result, tmp_path / "artifact")
+        materialized = load_artifact(path)
+        mapped = load_artifact(path, mmap_mode="r")
+        X = serving_split.deploy.X
+        np.testing.assert_array_equal(
+            materialized.model.predict(X), mapped.model.predict(X)
+        )
+
+    def test_extraction_cache_reused_and_retagged(self, tmp_path, linear_data):
+        X, y = linear_data
+        model = make_learner("lr", random_state=0).fit(X, y)
+        path = save_artifact(model, tmp_path / "artifact")
+        load_artifact(path, mmap_mode="r")
+        cache = path / "payload.mmap"
+        assert cache.is_dir() and (cache / "payload.sha256").exists()
+        stamp = (cache / "payload.sha256").read_text()
+        loaded = load_artifact(path, mmap_mode="r")  # second load reuses the cache
+        assert (cache / "payload.sha256").read_text() == stamp
+        np.testing.assert_array_equal(model.predict(X), loaded.predict(X))
+
+    def test_mmap_still_verifies_the_checksum(self, tmp_path, linear_data):
+        X, y = linear_data
+        model = make_learner("lr", random_state=0).fit(X, y)
+        path = save_artifact(model, tmp_path / "artifact")
+        payload = path / PAYLOAD_NAME
+        raw = bytearray(payload.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        payload.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactError, match="checksum|read"):
+            load_artifact(path, mmap_mode="r")
+
+    def test_unsupported_mmap_mode_rejected(self, tmp_path, linear_data):
+        X, y = linear_data
+        model = make_learner("lr", random_state=0).fit(X, y)
+        path = save_artifact(model, tmp_path / "artifact")
+        with pytest.raises(ArtifactError, match="mmap_mode"):
+            load_artifact(path, mmap_mode="r+")
+
+    def test_mutating_estimators_refuse_mmap(self, tmp_path):
+        from repro.learners.base import BaseEstimator
+        from repro.serving.artifacts import register_serializable
+
+        @register_serializable(mutates_arrays=True)
+        class _InPlaceScaler(BaseEstimator):
+            _state_attributes = ("scale_",)
+
+            def __init__(self):
+                pass
+
+        try:
+            estimator = _InPlaceScaler()
+            estimator.scale_ = np.ones(4)
+            path = save_artifact(estimator, tmp_path / "artifact")
+            loaded = load_artifact(path)  # materialized load still works
+            np.testing.assert_array_equal(loaded.scale_, estimator.scale_)
+            with pytest.raises(ArtifactError, match="mmap"):
+                load_artifact(path, mmap_mode="r")
+        finally:
+            from repro.serving.artifacts import _MMAP_UNSAFE_CLASSES, _SERIALIZABLE_CLASSES
+
+            _SERIALIZABLE_CLASSES.pop("_InPlaceScaler", None)
+            _MMAP_UNSAFE_CLASSES.discard("_InPlaceScaler")
+
+    def test_mmap_arrays_are_read_only_views(self, tmp_path, linear_data):
+        X, y = linear_data
+        model = make_learner("lr", random_state=0).fit(X, y)
+        path = save_artifact(model, tmp_path / "artifact")
+        loaded = load_artifact(path, mmap_mode="r")
+        arrays = [
+            value
+            for value in vars(loaded).values()
+            if isinstance(value, np.ndarray) and isinstance(value, np.memmap)
+        ]
+        assert arrays, "an mmap load must hand back memory-mapped weight arrays"
+        for array in arrays:
+            with pytest.raises(ValueError):
+                array[...] = 0.0

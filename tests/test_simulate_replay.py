@@ -329,3 +329,53 @@ class TestScenarioSuiteExperiment:
         shifted = figure.filter_rows(scenario="group_shift")[0]
         assert shifted["detected"] is True
         assert figure.render()
+
+
+class TestNJobsForwarding:
+    """The CLI ``--n-jobs`` knob reaches the fit and changes nothing else."""
+
+    def test_serve_fit_n_jobs_is_bit_identical(self, tmp_path, capsys):
+        from repro.serving.cli import main as serve_main
+
+        common = [
+            "fit",
+            "--dataset", "meps",
+            "--size-factor", str(SIZE_FACTOR),
+            "--seed", str(SEED),
+        ]
+        serial_out = tmp_path / "serial"
+        parallel_out = tmp_path / "parallel"
+        assert serve_main(common + ["--out", str(serial_out)]) == 0
+        capsys.readouterr()
+        assert serve_main(common + ["--out", str(parallel_out), "--n-jobs", "4"]) == 0
+        capsys.readouterr()
+
+        from repro.serving import load_artifact
+
+        data = load_dataset("meps", size_factor=SIZE_FACTOR, random_state=SEED)
+        deploy = split_dataset(data, random_state=SEED).deploy
+        serial = load_artifact(serial_out)
+        parallel = load_artifact(parallel_out)
+        assert (
+            serial.model.predict(deploy.X) == parallel.model.predict(deploy.X)
+        ).all()
+
+    def test_simulate_run_accepts_n_jobs(self, tmp_path, capsys):
+        code = simulate_main(
+            [
+                "run",
+                "--scenario", "none",
+                "--dataset", "meps",
+                "--size-factor", str(SIZE_FACTOR),
+                "--seed", str(SEED),
+                "--steps", "6",
+                "--stream-batch", "50",
+                "--window", "600",
+                "--no-density",
+                "--n-jobs", "2",
+                "--out", str(tmp_path / "artifact"),
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["result"]["n_steps"] == 6
