@@ -1,0 +1,83 @@
+"""Benchmark: telemetry overhead on the serving hot path.
+
+Telemetry's contract is *near-zero overhead while off* — every instrumented
+path guards its recording with a single ``registry.enabled`` read — and a
+bounded, modest cost while on (counter increments and integer-quantized
+histogram observations under the service lock).  Both modes push the same
+10k-row batch through a loaded artifact so the regression gate (``--select
+telemetry``) catches a hot path that grows telemetry work it shouldn't:
+the disabled-mode benchmark must track ``test_serving_throughput`` within
+noise, and enabled mode must stay within the same 30% gate budget.
+
+Shape assertions: metric counts match the traffic exactly in enabled mode,
+and disabled mode records nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FairnessPipeline
+from repro.datasets import load_dataset, split_dataset
+from repro.serving import PredictionService, save_artifact
+from repro.telemetry import MetricsRegistry
+
+N_ROWS = 10_000
+BATCH_SIZE = 1024
+
+
+@pytest.fixture(scope="module")
+def serving_setup(tmp_path_factory):
+    result = FairnessPipeline(
+        "diffair", learner="lr", dataset="meps", size_factor=0.05, seed=7
+    ).run()
+    artifact = save_artifact(
+        result, tmp_path_factory.mktemp("artifact") / "meps-telemetry"
+    )
+    data = load_dataset("meps", size_factor=0.05, random_state=7)
+    deploy = split_dataset(data, random_state=7).deploy
+    index = np.tile(np.arange(deploy.n_samples), N_ROWS // deploy.n_samples + 1)[:N_ROWS]
+    return artifact, deploy.X[index]
+
+
+def test_telemetry_disabled_overhead_10k_batch(benchmark, serving_setup):
+    artifact, X = serving_setup
+    registry = MetricsRegistry()  # disabled: the default state
+    service = PredictionService.from_artifact(
+        artifact, batch_size=BATCH_SIZE, telemetry=registry
+    )
+
+    predictions = benchmark(service.predict, X)
+
+    assert predictions.shape == (N_ROWS,)
+    state = registry.state_dict()
+    assert state["counters"]["serving.requests_total"] == 0
+    assert sum(state["histograms"]["serving.request_latency_seconds"]["counts"]) == 0
+    benchmark.extra_info["records_per_second"] = round(
+        N_ROWS / benchmark.stats.stats.mean, 1
+    )
+
+
+def test_telemetry_enabled_overhead_10k_batch(benchmark, serving_setup):
+    artifact, X = serving_setup
+    registry = MetricsRegistry(enabled=True)
+    service = PredictionService.from_artifact(
+        artifact, batch_size=BATCH_SIZE, telemetry=registry
+    )
+
+    predictions = benchmark(service.predict, X)
+
+    assert predictions.shape == (N_ROWS,)
+    state = registry.state_dict()
+    # One request and N_ROWS records per benchmark round, every round counted.
+    n_requests = state["counters"]["serving.requests_total"]
+    assert n_requests >= 1
+    assert state["counters"]["serving.records_total"] == n_requests * N_ROWS
+    latency = state["histograms"]["serving.request_latency_seconds"]
+    assert sum(latency["counts"]) == n_requests
+    batches = state["histograms"]["serving.batch_rows"]
+    assert sum(batches["counts"]) == n_requests * (N_ROWS // BATCH_SIZE + 1)
+    benchmark.extra_info["records_per_second"] = round(
+        N_ROWS / benchmark.stats.stats.mean, 1
+    )

@@ -1,0 +1,88 @@
+"""Telemetry tour: spans over the fit, metrics over serving, exact merges.
+
+The script walks the observability substrate end to end:
+
+1. enable process-wide telemetry and fit ConFair — the fit leaves nested
+   tracing spans (``pipeline.run`` > ``pipeline.fit_intervention`` >
+   ``fit.profile_partitions`` ...) with wall-times and attributes;
+2. serve traffic through two ``PredictionService`` instances with
+   **private** registries — each records its own request counters and
+   latency/batch-size histograms;
+3. merge the two states and verify the fold is **exact**: the merged
+   histogram equals one service having observed the union stream, bucket
+   count for bucket count (integer sufficient statistics, the same
+   contract ``FairnessMonitor.merge`` makes for fairness state);
+4. print the Prometheus text exposition and the JSON dump the CLIs write
+   via ``--metrics-out`` (then: ``repro-telemetry summary --input ...``).
+
+Run with:  python examples/telemetry_tour.py
+"""
+
+from repro import FairnessPipeline, make_drifted_groups, split_dataset, telemetry
+from repro.serving import PredictionService
+from repro.telemetry import MetricsRegistry
+
+
+def main() -> None:
+    # 1. Trace the fit: spans record stage nesting and wall time.
+    telemetry.enable()
+    split = split_dataset(
+        make_drifted_groups(
+            n_majority=700, n_minority=300, n_features=4,
+            name="telemetry-demo", random_state=13,
+        ),
+        random_state=13,
+    )
+    result = FairnessPipeline(
+        "confair", dataset=split, intervention_params={"alpha_u": 1.0}, seed=13
+    ).run()
+    print("fit spans (name, parent, ms):")
+    trace = telemetry.get_registry().trace()
+    by_id = {record["span_id"]: record for record in trace}
+    for record in trace:
+        parent = by_id.get(record["parent_id"], {}).get("name", "-")
+        print(
+            f"  {record['name']:<28} parent={parent:<24} "
+            f"{record['duration_seconds'] * 1000:8.2f} ms"
+        )
+
+    # 2. Serve with private registries, one per "shard".
+    registries = [MetricsRegistry(enabled=True) for _ in range(2)]
+    union = MetricsRegistry(enabled=True)
+    shards = [
+        PredictionService(result.model, batch_size=64, telemetry=registry)
+        for registry in registries
+    ]
+    witness = PredictionService(result.model, batch_size=64, telemetry=union)
+    deploy = split.deploy
+    for i in range(8):
+        rows = deploy.X[(i * 30) % deploy.n_samples :][:30]
+        shards[i % 2].predict(rows)   # round-robin across the two shards
+        witness.predict(rows)         # the union stream, served by one service
+
+    # 3. The merge is exact: fold the two shard states, compare to the witness.
+    merged = MetricsRegistry.merge_state_dicts(
+        [registry.state_dict() for registry in registries]
+    )
+    witness_state = union.state_dict()
+    assert merged["counters"] == witness_state["counters"]
+    assert (
+        merged["histograms"]["serving.batch_rows"]
+        == witness_state["histograms"]["serving.batch_rows"]
+    ), "merged batch histogram must equal the union-stream histogram exactly"
+    print("\nmerged shard state == union-stream state (exact), counters:")
+    print(" ", merged["counters"])
+
+    # 4. Exports: Prometheus text and the --metrics-out JSON payload.
+    summary = MetricsRegistry.export_state(merged)
+    latency = summary["histograms"]["serving.request_latency_seconds"]
+    print("\nmerged latency quantiles:", latency["quantiles"])
+    print("\nPrometheus exposition (head):")
+    text = MetricsRegistry().load_state_dict(merged).export_prometheus()
+    print("\n".join(text.splitlines()[:8]))
+    print("\n(the CLIs write this as JSON via --metrics-out; inspect with")
+    print(" repro-telemetry summary --input metrics.json)")
+
+
+if __name__ == "__main__":
+    main()

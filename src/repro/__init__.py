@@ -110,6 +110,27 @@ exact, not approximate.  ``repro-fleet replay --shards N`` proves it by
 asserting a sharded drift replay matches the single-service replay
 bit-for-bit.
 
+Observability::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    with telemetry.span("audit.batch", dataset="meps"):
+        service.predict(rows)
+    print(telemetry.export()["histograms"]["serving.request_latency_seconds"]["quantiles"])
+    print(telemetry.export_prometheus())
+
+:mod:`repro.telemetry` is the process-wide metrics and tracing substrate:
+counters and gauges, fixed-bucket latency/size **histograms whose merges
+are exact** (observations are quantized to integers at record time, so
+per-shard histograms fold into one fleet view bit-identically to a
+histogram that observed the union stream — the same contract
+``FairnessMonitor.merge`` makes), and nested tracing spans over the fit,
+serve, shard, and replay hot paths.  It is off by default and
+near-zero-overhead while off; every serving/simulation/fleet CLI takes
+``--metrics-out PATH`` to enable it and write a JSON dump, and the
+``repro-telemetry`` CLI summarizes and diffs those dumps.
+
 Algorithm 3's density estimation runs on a batch-first engine
 (:mod:`repro.density`): ``KernelDensity(algorithm=...)`` dispatches
 ``score_samples`` onto a brute-force, flat batch KD-tree, or grid-hash
@@ -146,6 +167,7 @@ from repro.exceptions import (
     NotFittedError,
     ReproError,
     SimulationError,
+    TelemetryError,
     ValidationError,
 )
 from repro.fairness import FairnessAccumulator, FairnessReport, evaluate_predictions
@@ -166,8 +188,13 @@ from repro.learners import (
     make_learner,
 )
 from repro.profiling import ConstraintSet, discover_constraints
+from repro.telemetry import MetricsRegistry
 
-__version__ = "1.5.0"
+# Also exposes the submodule itself as `repro.telemetry` for the
+# Observability quickstart's `from repro import telemetry`.
+from repro import telemetry
+
+__version__ = "1.6.0"
 
 # The serving subsystem consumes everything above (interventions, learners,
 # datasets), the simulation subsystem consumes serving, and the fleet
@@ -215,6 +242,7 @@ __all__ = [
     "InterventionCapabilities",
     "KamiranReweighing",
     "LogisticRegressionClassifier",
+    "MetricsRegistry",
     "MultiModel",
     "NoIntervention",
     "NotFittedError",
@@ -228,6 +256,7 @@ __all__ = [
     "Scenario",
     "SimulationError",
     "SuiteRunner",
+    "TelemetryError",
     "TrafficBatch",
     "TrafficStream",
     "ValidationError",
@@ -251,4 +280,5 @@ __all__ = [
     "register_scenario",
     "save_artifact",
     "split_dataset",
+    "telemetry",
 ]

@@ -23,6 +23,7 @@ from repro.datasets.table import Dataset
 from repro.exceptions import ConstraintError
 from repro.profiling.constraints import ConstraintSet
 from repro.profiling.discovery import DiscoveryConfig, discover_constraints
+from repro.telemetry import span
 from repro.utils.parallel import thread_map
 
 __all__ = ["PartitionKey", "PartitionProfile", "profile_partitions"]
@@ -134,9 +135,14 @@ def profile_partitions(
         )
         return int(X_profiled.shape[0]), constraints
 
-    for (key, _), (profiled_size, constraints) in zip(
-        eligible, thread_map(_profile_one, eligible, n_jobs=n_jobs)
+    with span(
+        "fit.profile_partitions",
+        dataset=dataset.name,
+        n_partitions=len(eligible),
+        n_jobs=n_jobs,
     ):
+        profiled = thread_map(_profile_one, eligible, n_jobs=n_jobs)
+    for (key, _), (profiled_size, constraints) in zip(eligible, profiled):
         profile.profiled_sizes[key] = profiled_size
         profile.constraint_sets[key] = constraints
     if not profile.constraint_sets:

@@ -52,6 +52,7 @@ from repro.density.grid import GridIndex
 from repro.density.kdtree import KDTree
 from repro.density.kernels import COMPACT_KERNELS, kernel_by_name
 from repro.exceptions import ValidationError
+from repro.telemetry import get_registry as _get_telemetry_registry
 
 BACKEND_NAMES: Tuple[str, ...] = ("brute", "kd_tree", "grid")
 """Concrete backend names a fitted ``KernelDensity`` may reference."""
@@ -359,3 +360,15 @@ def backend_cache_stats() -> Dict[str, int]:
     """
     with _CACHE_LOCK:
         return dict(_STATS)
+
+
+def _telemetry_collector(registry) -> None:
+    # Folds the cache counters into gauges at export/state_dict time — the
+    # hot path (get_backend under _CACHE_LOCK) stays untouched, and the
+    # collector never runs while _CACHE_LOCK is held, so the two locks
+    # cannot interleave.
+    for stat, value in backend_cache_stats().items():
+        registry.gauge(f"density.backend_cache.{stat}").set(float(value))
+
+
+_get_telemetry_registry().add_collector(_telemetry_collector)

@@ -67,3 +67,12 @@ class FleetError(ReproError):
     dispatch policy).  Monitor-merge mismatches raise
     :class:`ValidationError` from the monitor itself.
     """
+
+
+class TelemetryError(ReproError):
+    """Raised for invalid telemetry use in :mod:`repro.telemetry`.
+
+    Covers metric-name collisions across metric kinds, histogram merges
+    whose bucket layouts or resolutions disagree, and malformed telemetry
+    state dictionaries.
+    """

@@ -36,6 +36,21 @@ Start from a saved artifact and a saved baseline-installed monitor::
         predictions = fleet.predict(X, group)      # sync facade
         report = fleet.fleet_report()              # merged window + per-shard stats
 
+Observability
+-------------
+Shard workers carry **private** telemetry registries (inline shards are
+handed one; process workers record into their own process's default
+registry), so per-shard ``serving.*`` histograms merge into one fleet view
+without double counting — exactly, via integer sufficient statistics, the
+same way the monitors merge.  :meth:`FleetService.fleet_report` surfaces
+per-shard ``cold_start_seconds``, the ``mmap_cache`` hit/miss outcome of
+each artifact load, per-shard latency quantiles, and a ``telemetry``
+section with the merged view; :meth:`FleetService.telemetry_report` is the
+full ``--metrics-out`` payload (front-end + per-shard + merged state), and
+``repro-telemetry`` summarizes or diffs it.  When a worker process dies,
+the raised :class:`~repro.exceptions.FleetError` carries the shard id, the
+process exit code, and the last in-flight/served sequence range.
+
 Async callers use ``await fleet.predict_async(...)`` directly.  Keep the
 default ``dispatch="round_robin"`` and ``scatter_rows=None`` whenever the
 merged monitor must reproduce a single-service run exactly; switch to

@@ -37,10 +37,16 @@ from repro.serving.artifacts import save_artifact
 from repro.serving.cli import emit_json, parse_params
 from repro.simulate.cli import _make_runner, _prepare
 from repro.simulate.registry import available_scenarios, make_scenario
+from repro.telemetry import enable as enable_telemetry, write_metrics
 
 
 # ---------------------------------------------------------------- commands
 def cmd_serve(args) -> int:
+    # Enable telemetry *before* workers exist: inline shards snapshot the
+    # process-wide flag into their private registries and process shards
+    # forward it to the spawned worker over the pipe handshake.
+    if args.metrics_out:
+        enable_telemetry()
     artifact, loaded, split = _prepare(args)
     runner = _make_runner(args, loaded, split)
     if args.backend == "inline":
@@ -72,6 +78,12 @@ def cmd_serve(args) -> int:
             take = np.arange(start, start + rows) % deploy.n_samples
             fleet.predict(deploy.X[take], deploy.group[take], y_true=deploy.y[take])
         report = fleet.fleet_report()
+        if args.metrics_out:
+            # Snapshotted inside the `with` block: worker telemetry state is
+            # only reachable while the shards are alive.
+            report["metrics_out"] = write_metrics(
+                args.metrics_out, fleet.telemetry_report()
+            )
     report["artifact"] = artifact
     report["backend"] = args.backend
     if args.out_report:
@@ -81,6 +93,8 @@ def cmd_serve(args) -> int:
 
 
 def cmd_replay(args) -> int:
+    if args.metrics_out:
+        enable_telemetry()
     artifact, loaded, split = _prepare(args)
     runner = _make_runner(args, loaded, split)
     scenario = make_scenario(args.scenario, **parse_params(args.scenario_param))
@@ -94,14 +108,17 @@ def cmd_replay(args) -> int:
         batch_size=args.stream_batch,
         seed=args.seed,
     )
-    emit_json(
-        {
-            "artifact": artifact,
-            "dataset": args.dataset,
-            "scenario": repr(scenario),
-            **comparison.to_dict(),
-        }
-    )
+    payload = {
+        "artifact": artifact,
+        "dataset": args.dataset,
+        "scenario": repr(scenario),
+        **comparison.to_dict(),
+    }
+    if args.metrics_out:
+        # Both replays have finished and closed their fleets; the default
+        # registry holds the replay spans and single-service metrics.
+        payload["metrics_out"] = write_metrics(args.metrics_out)
+    emit_json(payload)
     if not comparison.matches:
         print(
             f"error: {args.shards}-shard replay diverged from the single-service run",
@@ -227,6 +244,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--request-rows", type=int, default=64, help="deploy rows per request"
     )
     serve.add_argument("--out-report", help="also write the fleet report JSON here")
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable telemetry and write the fleet dump (frontend + per-shard "
+        "+ exactly-merged state) to PATH",
+    )
     serve.set_defaults(func=cmd_serve)
 
     replay = sub.add_parser(
@@ -243,6 +267,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="KEY=VALUE",
         help="scenario constructor parameter (repeatable; value parsed as JSON)",
+    )
+    replay.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable telemetry and write the default-registry dump (replay "
+        "spans + single-service metrics) to PATH after the comparison",
     )
     replay.set_defaults(func=cmd_replay)
 

@@ -32,6 +32,7 @@ import numpy as np
 from repro.exceptions import FleetError, ValidationError
 from repro.serving.monitor import FairnessMonitor
 from repro.serving.service import ServiceStats
+from repro.telemetry import DEFAULT_SIZE_BUCKETS, MetricsRegistry, get_registry
 
 DISPATCH_POLICIES = ("round_robin", "least_loaded")
 
@@ -58,6 +59,13 @@ class FleetService:
     report_every:
         Every N front-end requests, append a fleet report (merged monitor
         summary + per-shard stats) to :attr:`report_history`.
+    telemetry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` for the
+        *front-end's* own metrics (``fleet.requests_total``,
+        ``fleet.request_rows``, ``fleet.request_parts``); defaults to the
+        process-wide registry.  Shard-side serving metrics live in the
+        workers' private registries and are merged — exactly, like the
+        monitors — into :meth:`fleet_report` / :meth:`telemetry_report`.
     """
 
     def __init__(
@@ -67,6 +75,7 @@ class FleetService:
         dispatch: str = "round_robin",
         scatter_rows: Optional[int] = None,
         report_every: Optional[int] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         workers = list(workers)
         if not workers:
@@ -84,6 +93,14 @@ class FleetService:
         self.scatter_rows = scatter_rows
         self.report_every = report_every
         self.report_history: List[Dict[str, Any]] = []
+        self.telemetry = telemetry if telemetry is not None else get_registry()
+        self._m_requests = self.telemetry.counter("fleet.requests_total")
+        self._m_rows = self.telemetry.histogram(
+            "fleet.request_rows", buckets=DEFAULT_SIZE_BUCKETS, resolution=1.0
+        )
+        self._m_parts = self.telemetry.histogram(
+            "fleet.request_parts", buckets=DEFAULT_SIZE_BUCKETS, resolution=1.0
+        )
         self.n_requests = 0
         self._sequence = 0
         self._pending = [0] * len(workers)
@@ -146,6 +163,10 @@ class FleetService:
                 self._sequence += 1
             self.n_requests += 1
             n_requests = self.n_requests
+        if self.telemetry.enabled:
+            self._m_requests.inc()
+            self._m_rows.observe(n)
+            self._m_parts.observe(len(assignments))
         loop = asyncio.get_running_loop()
         tasks = [
             loop.run_in_executor(
@@ -242,30 +263,107 @@ class FleetService:
         return total
 
     def fleet_report(self) -> Dict[str, Any]:
-        """One fleet-level report: merged window view plus per-shard stats."""
+        """One fleet-level report: merged window view plus per-shard stats.
+
+        Every shard entry carries its ``cold_start_seconds`` and the
+        ``mmap_cache`` hit/miss outcome of its artifact load.  When the
+        shards record telemetry, each entry additionally reports its
+        request-latency quantiles, and the report gains a ``telemetry``
+        section whose ``merged`` view folds the per-shard histograms
+        together exactly (integer sufficient statistics — bit-identical to
+        one service observing the union stream).
+        """
         snapshots = self.snapshots()
         merged = self.monitor
+        shard_exports: Dict[int, Dict[str, Any]] = {
+            snapshot.shard_id: MetricsRegistry.export_state(snapshot.telemetry_state)
+            for snapshot in snapshots
+            if snapshot.telemetry_state is not None
+        }
+        shards = []
+        for snapshot in snapshots:
+            entry: Dict[str, Any] = {
+                "shard_id": snapshot.shard_id,
+                "n_requests": snapshot.stats.n_requests,
+                "n_records": snapshot.stats.n_records,
+                "records_per_second": round(snapshot.stats.records_per_second, 1),
+                "cold_start_seconds": round(snapshot.cold_start_seconds, 4),
+                "mmap_cache": snapshot.mmap_cache,
+            }
+            export = shard_exports.get(snapshot.shard_id)
+            if export is not None:
+                latency = export["histograms"].get("serving.request_latency_seconds")
+                if latency is not None:
+                    entry["latency_quantiles"] = latency["quantiles"]
+            shards.append(entry)
         report: Dict[str, Any] = {
             "n_shards": len(self.workers),
             "dispatch": self.dispatch,
             "n_requests": self.n_requests,
-            "shards": [
-                {
-                    "shard_id": snapshot.shard_id,
-                    "n_requests": snapshot.stats.n_requests,
-                    "n_records": snapshot.stats.n_records,
-                    "records_per_second": round(snapshot.stats.records_per_second, 1),
-                    "cold_start_seconds": round(snapshot.cold_start_seconds, 4),
-                }
-                for snapshot in snapshots
-            ],
+            "shards": shards,
         }
-        total = self.stats
+        total = ServiceStats()
+        for snapshot in snapshots:
+            total.n_requests += snapshot.stats.n_requests
+            total.n_records += snapshot.stats.n_records
+            total.total_seconds += snapshot.stats.total_seconds
         report["n_records"] = total.n_records
         report["records_per_second"] = round(total.records_per_second, 1)
+        if shard_exports:
+            states = [
+                snapshot.telemetry_state
+                for snapshot in snapshots
+                if snapshot.telemetry_state is not None
+            ]
+            merged_state = MetricsRegistry.merge_state_dicts(states)
+            report["telemetry"] = {
+                "n_reporting_shards": len(states),
+                "merged": MetricsRegistry.export_state(merged_state),
+            }
         if merged is not None:
             report["windowed"] = merged.windowed_summary()
         return report
+
+    def telemetry_report(self) -> Dict[str, Any]:
+        """The fleet's ``--metrics-out`` payload: front-end + shards + merge.
+
+        ``frontend`` is the front-end registry's dump (its spans include the
+        dispatch path), each ``shards`` entry carries that shard's summary
+        *and* mergeable state, and ``merged`` folds the shard states into
+        the exact union view.  Shards report only while telemetry is
+        enabled and recording into private registries.
+        """
+        snapshots = self.snapshots()
+        shards = []
+        states = []
+        for snapshot in snapshots:
+            if snapshot.telemetry_state is None:
+                continue
+            states.append(snapshot.telemetry_state)
+            shards.append(
+                {
+                    "shard_id": snapshot.shard_id,
+                    "cold_start_seconds": snapshot.cold_start_seconds,
+                    "mmap_cache": snapshot.mmap_cache,
+                    "export": MetricsRegistry.export_state(snapshot.telemetry_state),
+                    "state": snapshot.telemetry_state,
+                }
+            )
+        payload: Dict[str, Any] = {
+            "telemetry_version": 1,
+            "frontend": {
+                "export": self.telemetry.export(),
+                "state": self.telemetry.state_dict(),
+            },
+            "shards": shards,
+        }
+        if states:
+            merged_state = MetricsRegistry.merge_state_dicts(states)
+            payload["merged"] = {
+                "export": MetricsRegistry.export_state(merged_state),
+                "state": merged_state,
+            }
+        return payload
 
     # ------------------------------------------------------------- lifecycle
     @property

@@ -30,19 +30,31 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.exceptions import FleetError
-from repro.serving.artifacts import load_artifact
+from repro.serving.artifacts import load_artifact, mmap_cache_stats
 from repro.serving.monitor import FairnessMonitor
 from repro.serving.service import PredictionService, ServiceStats
+from repro.telemetry import MetricsRegistry, get_registry, telemetry_enabled
 
 
 @dataclass(frozen=True)
 class ShardSnapshot:
-    """One shard's aggregation payload: stats plus mergeable monitor state."""
+    """One shard's aggregation payload: stats plus mergeable monitor state.
+
+    ``mmap_cache`` is the outcome of the shard's ``load_artifact``
+    (``"hit"`` — a fresh extraction cache was memory-mapped directly,
+    ``"miss"`` — the payload had to be extracted first, ``None`` — the
+    shard did not load via mmap).  ``telemetry_state`` is the shard
+    registry's mergeable ``state_dict`` (``None`` while telemetry is
+    disabled, or when the shard records into the process-wide registry —
+    merging that per shard would double-count).
+    """
 
     shard_id: int
     stats: ServiceStats
     monitor_state: Optional[Dict[str, Any]]
     cold_start_seconds: float
+    mmap_cache: Optional[str] = None
+    telemetry_state: Optional[Dict[str, Any]] = None
 
 
 class InlineShardWorker:
@@ -62,6 +74,7 @@ class InlineShardWorker:
         self.service = service
         self.shard_id = int(shard_id)
         self.cold_start_seconds = 0.0
+        self.mmap_cache: Optional[str] = None
 
     @classmethod
     def from_artifact(
@@ -73,15 +86,35 @@ class InlineShardWorker:
         monitor: Optional[FairnessMonitor] = None,
         batch_size: int = 2048,
         max_workers: Optional[int] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> "InlineShardWorker":
-        """Build a shard from a saved artifact (memory-mapped by default)."""
+        """Build a shard from a saved artifact (memory-mapped by default).
+
+        The shard's service records into a **private** telemetry registry
+        (inheriting the process-wide enabled flag) unless one is passed
+        explicitly, so per-shard histograms stay mergeable without double
+        counting against the process registry.
+        """
         start = time.perf_counter()
+        before = mmap_cache_stats() if mmap_mode is not None else None
         loaded = load_artifact(path, mmap_mode=mmap_mode)
+        if telemetry is None:
+            telemetry = MetricsRegistry(enabled=telemetry_enabled())
         service = PredictionService(
-            loaded, batch_size=batch_size, max_workers=max_workers, monitor=monitor
+            loaded,
+            batch_size=batch_size,
+            max_workers=max_workers,
+            monitor=monitor,
+            telemetry=telemetry,
         )
         worker = cls(service, shard_id=shard_id)
         worker.cold_start_seconds = time.perf_counter() - start
+        if before is not None:
+            # Process-cumulative counters, so concurrent loads in other
+            # threads could blur the attribution; shard construction is
+            # serial everywhere in this package.
+            after = mmap_cache_stats()
+            worker.mmap_cache = "miss" if after["extractions"] > before["extractions"] else "hit"
         return worker
 
     @property
@@ -98,22 +131,46 @@ class InlineShardWorker:
     def snapshot(self) -> ShardSnapshot:
         stats = self.service.stats
         monitor = self.service.monitor
+        registry = self.service.telemetry
+        # Only a private registry is exported per shard: N inline shards
+        # sharing the process-wide registry would each report the same
+        # union state and the fleet merge would count it N times.
+        telemetry_state = (
+            registry.state_dict()
+            if registry.enabled and registry is not get_registry()
+            else None
+        )
         return ShardSnapshot(
             shard_id=self.shard_id,
             stats=ServiceStats(stats.n_requests, stats.n_records, stats.total_seconds),
             monitor_state=monitor.state_dict() if monitor is not None else None,
             cold_start_seconds=self.cold_start_seconds,
+            mmap_cache=self.mmap_cache,
+            telemetry_state=telemetry_state,
         )
 
     def close(self) -> None:
         self.service.close()
 
 
-def _shard_worker_main(conn, artifact_path, monitor_path, batch_size, mmap_mode) -> None:
+def _shard_worker_main(
+    conn, artifact_path, monitor_path, batch_size, mmap_mode, telemetry_on=False
+) -> None:
     """Worker-process entry point: load, serve the pipe, snapshot on demand."""
     try:
+        # The spawned process's default registry is private to this shard by
+        # construction, so the in-worker service records straight into it
+        # and `snapshot` ships its mergeable state back over the pipe.
+        registry = get_registry()
+        if telemetry_on:
+            registry.enable()
         start = time.perf_counter()
+        extractions_before = mmap_cache_stats()["extractions"] if mmap_mode is not None else None
         loaded = load_artifact(artifact_path, mmap_mode=mmap_mode)
+        mmap_cache = None
+        if extractions_before is not None:
+            extracted = mmap_cache_stats()["extractions"] > extractions_before
+            mmap_cache = "miss" if extracted else "hit"
         monitor = load_artifact(monitor_path) if monitor_path is not None else None
         service = PredictionService(loaded, batch_size=batch_size, monitor=monitor)
         cold_start = time.perf_counter() - start
@@ -121,7 +178,16 @@ def _shard_worker_main(conn, artifact_path, monitor_path, batch_size, mmap_mode)
         conn.send(("error", f"{type(error).__name__}: {error}"))
         conn.close()
         return
-    conn.send(("ready", {"cold_start_seconds": cold_start, "requires_group": service.requires_group}))
+    conn.send(
+        (
+            "ready",
+            {
+                "cold_start_seconds": cold_start,
+                "requires_group": service.requires_group,
+                "mmap_cache": mmap_cache,
+            },
+        )
+    )
     while True:
         try:
             message = conn.recv()
@@ -143,6 +209,10 @@ def _shard_worker_main(conn, artifact_path, monitor_path, batch_size, mmap_mode)
                             "stats": (stats.n_requests, stats.n_records, stats.total_seconds),
                             "monitor_state": state,
                             "cold_start_seconds": cold_start,
+                            "mmap_cache": mmap_cache,
+                            "telemetry_state": (
+                                registry.state_dict() if registry.enabled else None
+                            ),
                         },
                     )
                 )
@@ -179,6 +249,11 @@ class ProcessShardWorker:
         ``"r"`` (default) or ``None`` to materialize the payload per worker.
     start_timeout:
         Seconds to wait for the worker's ready handshake.
+    telemetry:
+        Whether the worker process records telemetry (its process-default
+        registry is enabled and its mergeable state rides every snapshot).
+        ``None`` (default) inherits the parent's current enabled flag at
+        construction time.
     """
 
     def __init__(
@@ -190,6 +265,7 @@ class ProcessShardWorker:
         batch_size: int = 2048,
         mmap_mode: Optional[str] = "r",
         start_timeout: float = 120.0,
+        telemetry: Optional[bool] = None,
     ) -> None:
         self.shard_id = int(shard_id)
         self._monitor_path = str(monitor_path) if monitor_path is not None else None
@@ -198,11 +274,25 @@ class ProcessShardWorker:
         # request/response channel, serialized under this lock.
         self._lock = threading.Lock()
         self._closed = False
+        # Crash forensics, mutated under self._lock: the sequence currently
+        # awaiting its reply, and the lo..hi range of sequences this worker
+        # has successfully served.
+        self._inflight_sequence: Optional[int] = None
+        self._served_lo: Optional[int] = None
+        self._served_hi: Optional[int] = None
+        telemetry_on = telemetry_enabled() if telemetry is None else bool(telemetry)
         context = multiprocessing.get_context("spawn")
         self._conn, child_conn = context.Pipe()
         self._process = context.Process(
             target=_shard_worker_main,
-            args=(child_conn, str(artifact_path), self._monitor_path, int(batch_size), mmap_mode),
+            args=(
+                child_conn,
+                str(artifact_path),
+                self._monitor_path,
+                int(batch_size),
+                mmap_mode,
+                telemetry_on,
+            ),
             daemon=True,
         )
         self._process.start()
@@ -213,35 +303,70 @@ class ProcessShardWorker:
             raise FleetError(f"Shard worker {self.shard_id} failed to start: {payload}")
         self.cold_start_seconds = float(payload["cold_start_seconds"])
         self.requires_group = bool(payload["requires_group"])
+        self.mmap_cache = payload.get("mmap_cache")
 
     # ------------------------------------------------------------- plumbing
+    def _death_details(self) -> str:
+        """Crash forensics for a dead/unresponsive worker's FleetError.
+
+        Reaps the process (bounded join) for its exit code and reports the
+        request sequence that was in flight plus the range this worker had
+        already served — enough to diagnose a crashed shard from the
+        exception alone.
+        """
+        self._process.join(timeout=1.0)
+        exit_code = self._process.exitcode
+        exit_part = (
+            "process still alive" if exit_code is None else f"process exit code {exit_code}"
+        )
+        if self._inflight_sequence is not None:
+            inflight_part = f"in-flight sequence {self._inflight_sequence}"
+        else:
+            inflight_part = "no sequenced request in flight"
+        if self._served_lo is not None:
+            served_part = f"served sequence range {self._served_lo}..{self._served_hi}"
+        else:
+            served_part = "no sequenced requests served"
+        return f"shard {self.shard_id}; {exit_part}; {inflight_part}; {served_part}"
+
     def _receive(self, *, timeout: float = 120.0):
         if not self._conn.poll(timeout):
+            details = self._death_details()
             self._abandon()
             raise FleetError(
                 f"Shard worker {self.shard_id} did not answer within {timeout:.0f}s "
-                "(worker process hung or died)"
+                f"(worker process hung or died; {details})"
             )
         try:
             return self._conn.recv()
         except EOFError:
+            details = self._death_details()
             self._abandon()
             raise FleetError(
-                f"Shard worker {self.shard_id} died mid-conversation (EOF on its pipe)"
+                f"Shard worker {self.shard_id} died mid-conversation "
+                f"(EOF on its pipe; {details})"
             ) from None
 
-    def _request(self, message, *, timeout: float = 120.0):
+    def _request(self, message, *, timeout: float = 120.0, sequence: Optional[int] = None):
         with self._lock:
             if self._closed:
                 raise FleetError(f"Shard worker {self.shard_id} is closed")
+            if sequence is not None:
+                self._inflight_sequence = int(sequence)
             try:
                 self._conn.send(message)
             except (OSError, ValueError) as error:
+                details = self._death_details()
                 self._abandon()
                 raise FleetError(
-                    f"Cannot reach shard worker {self.shard_id}: {error}"
+                    f"Cannot reach shard worker {self.shard_id}: {error} ({details})"
                 ) from error
             kind, payload = self._receive(timeout=timeout)
+            if sequence is not None and kind == "ok":
+                seq = int(sequence)
+                self._served_lo = seq if self._served_lo is None else min(self._served_lo, seq)
+                self._served_hi = seq if self._served_hi is None else max(self._served_hi, seq)
+            self._inflight_sequence = None
         if kind == "error":
             raise FleetError(f"Shard worker {self.shard_id} failed: {payload}")
         return payload
@@ -253,7 +378,9 @@ class ProcessShardWorker:
 
     # ------------------------------------------------------------- protocol
     def predict(self, X, group=None, *, y_true=None, sequence=None) -> np.ndarray:
-        return self._request(("predict", np.asarray(X), group, y_true, sequence))
+        return self._request(
+            ("predict", np.asarray(X), group, y_true, sequence), sequence=sequence
+        )
 
     def monitor_template(self) -> Optional[FairnessMonitor]:
         if self._monitor_path is None:
@@ -276,6 +403,8 @@ class ProcessShardWorker:
             stats=ServiceStats(int(n_requests), int(n_records), float(total_seconds)),
             monitor_state=payload["monitor_state"],
             cold_start_seconds=float(payload["cold_start_seconds"]),
+            mmap_cache=payload.get("mmap_cache"),
+            telemetry_state=payload.get("telemetry_state"),
         )
 
     def close(self) -> None:

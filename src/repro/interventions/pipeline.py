@@ -43,6 +43,7 @@ from repro.interventions.registry import (
 )
 from repro.learners.base import BaseEstimator, clone as clone_estimator
 from repro.learners.registry import make_learner
+from repro.telemetry import span
 from repro.utils.parallel import thread_map
 from repro.utils.random import spawn_seeds
 
@@ -151,14 +152,23 @@ class FairnessPipeline(BaseEstimator):
     def run(self, seed: Optional[int] = None) -> PipelineResult:
         """Fit the intervention, build the final model, evaluate the deploy set."""
         seed = self.seed if seed is None else int(seed)
-        dataset_name, split = self._resolve_split(seed)
-        intervention = self._build_intervention(seed)
-        start = time.perf_counter()
-        intervention.fit(split.train, validation=split.validation)
-        model = intervention.make_model(split, learner=self.learner, seed=seed)
-        predictions = model.predict(split.deploy.X, group=split.deploy.group)
-        elapsed = time.perf_counter() - start
-        report = evaluate_predictions(split.deploy.y, predictions, split.deploy.group)
+        with span(
+            "pipeline.run",
+            method=self._method_name(),
+            learner=self._learner_name(),
+            seed=seed,
+        ):
+            dataset_name, split = self._resolve_split(seed)
+            intervention = self._build_intervention(seed)
+            start = time.perf_counter()
+            with span("pipeline.fit_intervention"):
+                intervention.fit(split.train, validation=split.validation)
+            with span("pipeline.make_model"):
+                model = intervention.make_model(split, learner=self.learner, seed=seed)
+            predictions = model.predict(split.deploy.X, group=split.deploy.group)
+            elapsed = time.perf_counter() - start
+            with span("pipeline.evaluate"):
+                report = evaluate_predictions(split.deploy.y, predictions, split.deploy.group)
         details = {**intervention.details(), **model.details}
         return PipelineResult(
             dataset=dataset_name,
@@ -221,22 +231,35 @@ class FairnessPipeline(BaseEstimator):
                 "only interventions with a declared degree_param do"
             )
         seed = self.seed if seed is None else int(seed)
-        _, split = self._resolve_split(seed)
-        intervention = self._build_intervention(
-            seed, extra_params={capabilities.degree_param: 0.0}
-        )
-        intervention.fit(split.train, validation=split.validation)
-
-        def evaluate(degree) -> DegreeSweepPoint:
-            weights = intervention.weights_for_degree(float(degree))
-            model = self._final_learner(seed)
-            model.fit(split.train.X, split.train.y, sample_weight=weights)
-            predictions = model.predict(split.deploy.X)
-            report = evaluate_predictions(split.deploy.y, predictions, split.deploy.group)
-            return DegreeSweepPoint(degree=float(degree), report=report, predictions=predictions)
-
+        degrees = list(degrees)
         n_jobs = self.fit_n_jobs if n_jobs is None else n_jobs
-        return thread_map(evaluate, list(degrees), n_jobs=n_jobs)
+        with span(
+            "pipeline.sweep_degrees",
+            method=self._method_name(),
+            n_degrees=len(degrees),
+            n_jobs=n_jobs,
+        ):
+            _, split = self._resolve_split(seed)
+            intervention = self._build_intervention(
+                seed, extra_params={capabilities.degree_param: 0.0}
+            )
+            with span("pipeline.fit_intervention"):
+                intervention.fit(split.train, validation=split.validation)
+
+            def evaluate(degree) -> DegreeSweepPoint:
+                with span("pipeline.sweep_point", degree=float(degree)):
+                    weights = intervention.weights_for_degree(float(degree))
+                    model = self._final_learner(seed)
+                    model.fit(split.train.X, split.train.y, sample_weight=weights)
+                    predictions = model.predict(split.deploy.X)
+                    report = evaluate_predictions(
+                        split.deploy.y, predictions, split.deploy.group
+                    )
+                return DegreeSweepPoint(
+                    degree=float(degree), report=report, predictions=predictions
+                )
+
+            return thread_map(evaluate, degrees, n_jobs=n_jobs)
 
     # ------------------------------------------------------------ plumbing
     def _capabilities(self) -> InterventionCapabilities:

@@ -34,6 +34,19 @@ only through a service (which locks around ``update``) or add your own
 lock.  Loaded artifacts and :class:`~repro.interventions.DeployedModel`
 instances are read-only at predict time and safe to share.
 
+Observability
+-------------
+With :mod:`repro.telemetry` enabled (``telemetry.enable()`` or any CLI's
+``--metrics-out``), every ``predict`` records ``serving.requests_total`` /
+``serving.records_total`` counters and ``serving.request_latency_seconds``
+/ ``serving.batch_rows`` / ``serving.queue_wait_seconds`` histograms, and
+the mmap extraction cache publishes ``serving.mmap_cache.*`` gauges at
+export time.  Pass a private :class:`~repro.telemetry.MetricsRegistry` via
+``PredictionService(..., telemetry=...)`` to keep one service's metrics
+separable (fleet shards do this so their histograms merge exactly); by
+default the process-wide registry is used.  Recording costs one attribute
+read while telemetry is off.
+
 Scaling out
 -----------
 One service on one thread pool is the single-shard case.  To serve the same

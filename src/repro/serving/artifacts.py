@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Type
 
@@ -68,6 +69,7 @@ from repro.learners.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.profiling.constraints import ConformanceConstraint, ConstraintSet
 from repro.profiling.discovery import DiscoveryConfig
 from repro.profiling.projections import Projection
+from repro.telemetry import get_registry as _get_telemetry_registry
 
 ARTIFACT_SCHEMA_VERSION = 1
 """Bumped whenever the manifest/payload layout changes incompatibly."""
@@ -601,6 +603,34 @@ def describe_artifact(path) -> Dict[str, Any]:
 MMAP_CACHE_DIR = "payload.mmap"
 """Sibling directory of extracted ``.npy`` members backing mmap loads."""
 
+_MMAP_STATS = {"hits": 0, "extractions": 0}
+_MMAP_STATS_LOCK = threading.Lock()
+
+
+def mmap_cache_stats() -> Dict[str, int]:
+    """Cumulative mmap-cache outcomes for this process.
+
+    ``hits``
+        Loads that found a fresh (checksum-tagged) extraction cache and
+        memory-mapped it directly.
+    ``extractions``
+        Loads that had to extract ``payload.npz`` into ``payload.mmap/``
+        first — the first load of an artifact, or any load after the
+        payload changed or a crash left the cache untagged.
+    """
+    with _MMAP_STATS_LOCK:
+        return dict(_MMAP_STATS)
+
+
+def _telemetry_collector(registry) -> None:
+    # Export-time fold of the mmap-cache outcomes into gauges, mirroring
+    # the density backend-cache collector: nothing on the load path.
+    for stat, value in mmap_cache_stats().items():
+        registry.gauge(f"serving.mmap_cache.{stat}").set(float(value))
+
+
+_get_telemetry_registry().add_collector(_telemetry_collector)
+
 
 def _mmap_payload(target: Path, payload_path: Path, payload_sha: str) -> Dict[str, np.ndarray]:
     """Memory-map the payload arrays through an extracted ``.npy`` cache.
@@ -619,6 +649,8 @@ def _mmap_payload(target: Path, payload_path: Path, payload_sha: str) -> Dict[st
         fresh = tag_path.is_file() and tag_path.read_text(encoding="utf-8").strip() == payload_sha
     except OSError:
         fresh = False
+    with _MMAP_STATS_LOCK:
+        _MMAP_STATS["hits" if fresh else "extractions"] += 1
     try:
         if not fresh:
             cache_dir.mkdir(parents=True, exist_ok=True)

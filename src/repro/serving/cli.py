@@ -35,6 +35,7 @@ from repro.interventions import FairnessPipeline, PipelineResult, available_inte
 from repro.serving.artifacts import describe_artifact, load_artifact, save_artifact
 from repro.serving.monitor import FairnessMonitor
 from repro.serving.service import PredictionService
+from repro.telemetry import enable as enable_telemetry, write_metrics
 
 
 def parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
@@ -171,6 +172,8 @@ def cmd_score(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    if args.metrics_out:
+        enable_telemetry()
     loaded = load_artifact(args.artifact)
     monitor = FairnessMonitor(
         window_size=args.window, profile=find_profile(loaded)
@@ -210,6 +213,8 @@ def cmd_serve(args) -> int:
             payload["windowed_report"] = monitor.windowed_report().to_dict()
         except ReproError:
             pass
+    if args.metrics_out:
+        payload["metrics_out"] = write_metrics(args.metrics_out)
     emit_json(payload)
     return 0
 
@@ -288,6 +293,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-size", type=int, default=512, help="micro-batch size")
     serve.add_argument("--workers", type=int, default=None, help="thread-pool width")
     serve.add_argument("--window", type=int, default=5000, help="monitor window size")
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable telemetry and write its JSON dump (summary + mergeable "
+        "state) to PATH after serving",
+    )
     serve.set_defaults(func=cmd_serve)
     return parser
 

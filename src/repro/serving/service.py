@@ -47,6 +47,7 @@ from repro.interventions.base import DeployedModel
 from repro.interventions.pipeline import PipelineResult
 from repro.serving.artifacts import load_artifact
 from repro.serving.monitor import FairnessMonitor
+from repro.telemetry import DEFAULT_SIZE_BUCKETS, MetricsRegistry, get_registry
 
 
 @dataclass
@@ -82,6 +83,15 @@ class PredictionService:
         Optional fitted :class:`PreprocessingPipeline`; enables
         :meth:`predict_records` on raw numeric/categorical columns, reusing
         the fit-time scaler and one-hot vocabulary vectorized.
+    telemetry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` to record into;
+        defaults to the process-wide registry.  When the registry is enabled
+        every request feeds ``serving.requests_total`` /
+        ``serving.records_total`` counters and the
+        ``serving.request_latency_seconds`` / ``serving.batch_rows`` /
+        ``serving.queue_wait_seconds`` histograms; when disabled the cost is
+        one attribute read per request.  Fleet shards pass private
+        registries so per-shard histograms merge without double counting.
     """
 
     def __init__(
@@ -92,6 +102,7 @@ class PredictionService:
         max_workers: Optional[int] = None,
         monitor: Optional[FairnessMonitor] = None,
         preprocessor: Optional[PreprocessingPipeline] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         if isinstance(model, PipelineResult):
             model = model.model
@@ -107,6 +118,17 @@ class PredictionService:
         self.monitor = monitor
         self.preprocessor = preprocessor
         self.stats = ServiceStats()
+        self.telemetry = telemetry if telemetry is not None else get_registry()
+        # Metric handles are resolved once here so the per-request cost when
+        # telemetry is enabled is a few lock-guarded integer updates — and a
+        # single `enabled` attribute read when it is not.
+        self._m_requests = self.telemetry.counter("serving.requests_total")
+        self._m_records = self.telemetry.counter("serving.records_total")
+        self._m_latency = self.telemetry.histogram("serving.request_latency_seconds")
+        self._m_batch_rows = self.telemetry.histogram(
+            "serving.batch_rows", buckets=DEFAULT_SIZE_BUCKETS, resolution=1.0
+        )
+        self._m_queue_wait = self.telemetry.histogram("serving.queue_wait_seconds")
         self._pool: Optional[ThreadPoolExecutor] = None
         # Serializes pool init, stats accumulation, the monitor feed, and
         # the closed flag; never held across a model predict call.
@@ -174,6 +196,11 @@ class PredictionService:
         start = time.perf_counter()
         predictions = self._predict_batched(X, group)
         elapsed = time.perf_counter() - start
+
+        if self.telemetry.enabled:
+            self._m_requests.inc()
+            self._m_records.inc(int(X.shape[0]))
+            self._m_latency.observe(elapsed)
 
         # Stats are read-modify-write and the monitor's sliding window is
         # not internally synchronized; one lock keeps both exact under
@@ -246,10 +273,26 @@ class PredictionService:
         if n == 0:
             return np.empty(0, dtype=np.int64)
         slices = [slice(i, min(i + self.batch_size, n)) for i in range(0, n, self.batch_size)]
+        recording = self.telemetry.enabled
+        if recording:
+            for sl in slices:
+                self._m_batch_rows.observe(sl.stop - sl.start)
         if self.max_workers is not None and self.max_workers > 1 and len(slices) > 1:
-            chunks = list(
-                self._worker_pool().map(lambda sl: self._predict_one(X, group, sl), slices)
-            )
+            if recording:
+                # Queue wait = time a micro-batch sat in the pool's queue
+                # between submission and a worker thread picking it up.
+                queue_wait = self._m_queue_wait
+                submitted = time.perf_counter()
+
+                def run(sl: slice) -> np.ndarray:
+                    queue_wait.observe(time.perf_counter() - submitted)
+                    return self._predict_one(X, group, sl)
+
+                chunks = list(self._worker_pool().map(run, slices))
+            else:
+                chunks = list(
+                    self._worker_pool().map(lambda sl: self._predict_one(X, group, sl), slices)
+                )
         else:
             chunks = [self._predict_one(X, group, sl) for sl in slices]
         return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)

@@ -34,6 +34,7 @@ from repro.serving.artifacts import load_artifact, save_artifact
 from repro.serving.cli import emit_json, find_profile, parse_params
 from repro.simulate.registry import available_scenarios, describe_scenarios, make_scenario
 from repro.simulate.suites import SuiteRunner, available_suites
+from repro.telemetry import enable as enable_telemetry, write_metrics
 
 
 def _prepare(args) -> tuple:
@@ -102,6 +103,8 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
+    if args.metrics_out:
+        enable_telemetry()
     artifact, loaded, split = _prepare(args)
     runner = _make_runner(args, loaded, split)
     scenario = make_scenario(args.scenario, **parse_params(args.scenario_param))
@@ -113,18 +116,21 @@ def cmd_run(args) -> int:
         batch_size=args.stream_batch,
         seed=args.seed,
     )
-    emit_json(
-        {
-            "artifact": artifact,
-            "dataset": args.dataset,
-            "scenario": repr(scenario),
-            "result": result.to_dict(include_steps=args.trace),
-        }
-    )
+    payload = {
+        "artifact": artifact,
+        "dataset": args.dataset,
+        "scenario": repr(scenario),
+        "result": result.to_dict(include_steps=args.trace),
+    }
+    if args.metrics_out:
+        payload["metrics_out"] = write_metrics(args.metrics_out)
+    emit_json(payload)
     return 0
 
 
 def cmd_suite(args) -> int:
+    if args.metrics_out:
+        enable_telemetry()
     artifact, loaded, split = _prepare(args)
     runner = _make_runner(args, loaded, split)
     results = runner.run(
@@ -134,17 +140,18 @@ def cmd_suite(args) -> int:
         batch_size=args.stream_batch,
         seed=args.seed,
     )
-    emit_json(
-        {
-            "artifact": artifact,
-            "dataset": args.dataset,
-            "suite": args.suite,
-            "results": {
-                label: result.to_dict(include_steps=args.trace)
-                for label, result in results
-            },
-        }
-    )
+    payload = {
+        "artifact": artifact,
+        "dataset": args.dataset,
+        "suite": args.suite,
+        "results": {
+            label: result.to_dict(include_steps=args.trace)
+            for label, result in results
+        },
+    }
+    if args.metrics_out:
+        payload["metrics_out"] = write_metrics(args.metrics_out)
+    emit_json(payload)
     return 0
 
 
@@ -231,6 +238,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace",
             action="store_true",
             help="include the full per-step trace in the JSON report",
+        )
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="enable telemetry and write its JSON dump (summary + "
+            "mergeable state, incl. replay spans) to PATH after the replay",
         )
 
     run = sub.add_parser("run", help="replay one scenario and score the monitor")

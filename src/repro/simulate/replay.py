@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.exceptions import SimulationError
 from repro.serving.service import PredictionService
 from repro.simulate.stream import TrafficStream
+from repro.telemetry import get_registry as _get_telemetry_registry
 
 
 @dataclass(frozen=True)
@@ -149,29 +150,48 @@ class ReplayHarness:
 
     # ------------------------------------------------------------- replay
     def replay(self, stream: TrafficStream, *, label: Optional[str] = None) -> ReplayResult:
-        """Serve every batch of ``stream`` and score the monitor's response."""
+        """Serve every batch of ``stream`` and score the monitor's response.
+
+        When telemetry is enabled, the replay leaves a span trace — one
+        ``replay.scenario`` root with a ``replay.step`` child per batch
+        (step, rows, drifted, alarm channels) — on the service's registry.
+        Spans record wall-time only; nothing telemetry measures feeds the
+        :class:`ReplayResult`, so sharded-vs-single bit-identity is
+        unaffected by enabling it.
+        """
+        telemetry = getattr(self.service, "telemetry", None)
+        telemetry = telemetry if telemetry is not None else _get_telemetry_registry()
         records_before = self.service.stats.n_records
         start = time.perf_counter()
 
         steps: List[StepRecord] = []
         channel_first_alarm: Dict[str, int] = {}
-        for batch in stream:
-            predictions = self.service.predict(batch.X, batch.group, y_true=batch.y)
-            stream.observe(batch, predictions)
-            channels = self._alarm_channels()
-            for channel in channels:
-                channel_first_alarm.setdefault(channel, batch.step)
-            steps.append(
-                StepRecord(
-                    step=batch.step,
-                    t=batch.t,
-                    n_rows=batch.n_rows,
-                    drifted=batch.drifted,
-                    alarm=bool(channels),
-                    channels=channels,
-                    di_star=self.monitor.windowed_summary().get("di_star"),
+        with telemetry.span(
+            "replay.scenario",
+            scenario=label if label is not None else type(stream.scenario).__name__,
+            dataset=stream.dataset.name,
+        ):
+            for batch in stream:
+                with telemetry.span(
+                    "replay.step", step=batch.step, rows=batch.n_rows, drifted=batch.drifted
+                ) as step_span:
+                    predictions = self.service.predict(batch.X, batch.group, y_true=batch.y)
+                    stream.observe(batch, predictions)
+                    channels = self._alarm_channels()
+                    step_span.set(channels=list(channels))
+                for channel in channels:
+                    channel_first_alarm.setdefault(channel, batch.step)
+                steps.append(
+                    StepRecord(
+                        step=batch.step,
+                        t=batch.t,
+                        n_rows=batch.n_rows,
+                        drifted=batch.drifted,
+                        alarm=bool(channels),
+                        channels=channels,
+                        di_star=self.monitor.windowed_summary().get("di_star"),
+                    )
                 )
-            )
         elapsed = time.perf_counter() - start
         n_records = self.service.stats.n_records - records_before
 

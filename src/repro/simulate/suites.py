@@ -205,7 +205,11 @@ class SuiteRunner:
         # Imported lazily: repro.fleet's replay helpers import this module.
         from repro.fleet.service import FleetService
         from repro.fleet.workers import InlineShardWorker
+        from repro.telemetry import MetricsRegistry, telemetry_enabled
 
+        # Each inline shard records into its own registry (inheriting the
+        # process-wide enabled flag): per-shard latency histograms then
+        # merge into the fleet view without double counting.
         workers = [
             InlineShardWorker(
                 PredictionService(
@@ -213,6 +217,7 @@ class SuiteRunner:
                     batch_size=self.service_batch_size,
                     max_workers=self.max_workers,
                     monitor=self._baseline_monitor(),
+                    telemetry=MetricsRegistry(enabled=telemetry_enabled()),
                 ),
                 shard_id=shard_id,
             )

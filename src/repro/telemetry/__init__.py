@@ -1,0 +1,159 @@
+"""repro.telemetry — unified metrics, latency histograms, and tracing spans.
+
+Every layer of the stack — fit (:func:`repro.core.profile_partitions`,
+:class:`repro.interventions.FairnessPipeline`), serve
+(:class:`repro.serving.PredictionService`), shard
+(:class:`repro.fleet.FleetService`), and replay
+(:class:`repro.simulate.ReplayHarness`) — records into one substrate:
+
+- **Counters** (``serving.requests_total``, ``serving.records_total``) and
+  **gauges** (``density.backend_cache.hits``, folded in from
+  ``backend_cache_stats()`` by a collector at export time).
+- **Histograms** (``serving.request_latency_seconds``,
+  ``serving.batch_rows``, ``serving.queue_wait_seconds``) with fixed buckets
+  and **exact merges**: observations are quantized to integers at record
+  time, so per-shard histograms fold into one fleet view bit-identically to
+  a histogram that observed the union stream — the same contract
+  :meth:`repro.serving.FairnessMonitor.merge` makes for fairness state.
+- **Spans** (``with span("fit.profile_partitions"): ...``) with
+  parent/child nesting, wall-time, and structured attributes, buffered per
+  registry and summarized into ``span.<name>.seconds`` histograms.
+
+Telemetry is **off by default** and near-zero-overhead while off: every
+instrumented hot path guards its recording with a single
+``registry.enabled`` attribute read (gated by
+``benchmarks/test_telemetry_overhead.py`` in the CI regression gate).
+Enable it for the process with :func:`enable`, or pass a private
+:class:`MetricsRegistry` to the component you care about::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    service.predict(rows)                  # records latency/batch metrics
+    print(telemetry.export_prometheus())   # Prometheus text exposition
+    payload = telemetry.export()           # JSON-able dict (incl. spans)
+
+The ``repro-serve serve``, ``repro-fleet serve|replay``, and
+``repro-simulate run|suite`` commands take ``--metrics-out PATH`` to enable
+telemetry and write a JSON dump (summary + mergeable state); the
+``repro-telemetry`` CLI summarizes and diffs those dumps.
+
+Thread safety: one registry lock guards all metric state (the PR 6
+discipline); spans keep per-thread stacks, so concurrent callers trace
+independently.  Determinism: counters and histogram merges are exact
+integer arithmetic; wall-clock values never feed replay verdicts
+(``compare_sharded_replay`` stays bit-identical with telemetry enabled).
+"""
+
+from __future__ import annotations
+
+import json as _json
+from pathlib import Path as _Path
+from typing import Any, Dict, Optional
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import SpanHandle
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanHandle",
+    "disable",
+    "dump",
+    "enable",
+    "export",
+    "export_prometheus",
+    "get_registry",
+    "reset",
+    "span",
+    "telemetry_enabled",
+    "write_metrics",
+]
+
+#: The process-wide default registry.  Instrumented components use it unless
+#: handed a private registry (fleet shards get their own to keep merges
+#: double-count-free).
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+
+    return _DEFAULT_REGISTRY
+
+
+def enable() -> MetricsRegistry:
+    """Enable the default registry; returns it for chaining."""
+
+    return _DEFAULT_REGISTRY.enable()
+
+
+def disable() -> MetricsRegistry:
+    """Disable the default registry; returns it for chaining."""
+
+    return _DEFAULT_REGISTRY.disable()
+
+
+def telemetry_enabled() -> bool:
+    """Whether the default registry is currently recording."""
+
+    return _DEFAULT_REGISTRY.enabled
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the default registry (no-op while disabled)."""
+
+    return _DEFAULT_REGISTRY.span(name, **attributes)
+
+
+def export(*, include_spans: bool = True) -> Dict[str, Any]:
+    """JSON-able summary of the default registry."""
+
+    return _DEFAULT_REGISTRY.export(include_spans=include_spans)
+
+
+def export_prometheus() -> str:
+    """Prometheus text exposition of the default registry."""
+
+    return _DEFAULT_REGISTRY.export_prometheus()
+
+
+def dump() -> Dict[str, Any]:
+    """The ``--metrics-out`` payload for the default registry."""
+
+    return _DEFAULT_REGISTRY.dump()
+
+
+def write_metrics(path, payload: Optional[Dict[str, Any]] = None) -> str:
+    """Write a telemetry dump to ``path`` as deterministic JSON.
+
+    ``payload`` defaults to the default registry's :func:`dump`; the fleet
+    CLI passes :meth:`~repro.fleet.FleetService.telemetry_report` instead.
+    Returns the written path (what ``--metrics-out`` handlers report).
+    """
+
+    target = _Path(path)
+    payload = dump() if payload is None else payload
+    target.write_text(
+        _json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return str(target)
+
+
+def reset(*, clear_collectors: bool = False) -> None:
+    """Clear the default registry's metrics and spans (collectors stay
+    unless ``clear_collectors=True``)."""
+
+    _DEFAULT_REGISTRY.reset(clear_collectors=clear_collectors)

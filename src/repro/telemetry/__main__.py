@@ -1,0 +1,6 @@
+"""``python -m repro.telemetry`` — alias for the ``repro-telemetry`` console script."""
+
+from repro.telemetry.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())
