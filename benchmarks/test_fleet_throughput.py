@@ -37,8 +37,7 @@ def fleet_setup():
 
     def make_monitor():
         monitor = FairnessMonitor(window_size=2000, profile=profile)
-        monitor.set_drift_baseline(split.train.X)
-        monitor.set_group_baseline(split.train.group)
+        monitor.set_baselines(violation=split.train.X, group_fraction=split.train.group)
         return monitor
 
     rng = np.random.default_rng(7)

@@ -44,7 +44,7 @@ def main() -> None:
 
         data = load_dataset("meps", size_factor=0.05, random_state=7)
         split = split_dataset(data, random_state=7)
-        monitor.set_drift_baseline(split.train.X)
+        monitor.set_baselines(violation=split.train.X)
 
         deploy = split.deploy
         service.predict(deploy.X, deploy.group, y_true=deploy.y)

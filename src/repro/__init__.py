@@ -65,13 +65,26 @@ Simulation quickstart::
     data = load_dataset("meps", size_factor=0.05, random_state=7)  # the pipeline's default scale
     split = split_dataset(data, random_state=7)
     monitor = FairnessMonitor(window_size=2000)
-    monitor.set_group_baseline(split.train.group)
+    monitor.set_baselines(group_fraction=split.train.group)
     service = PredictionService(result.model, monitor=monitor)
 
     stream = TrafficStream(split.deploy, make_scenario("group_shift"),
                            n_steps=40, batch_size=128, random_state=7)
     outcome = ReplayHarness(service).replay(stream)
     print(outcome.detected, outcome.detection_latency_steps, outcome.false_alarm_rate)
+
+Detection closes into mitigation: wrap the service in a
+:class:`~repro.serving.MitigationController` (or pass ``mitigate=True`` to
+:meth:`~repro.simulate.SuiteRunner.replay_scenario`, or run
+``repro-simulate run --mitigate``) and every alarm triggers refit →
+shadow-score → promote on live traffic, with the replay reporting
+time-to-recovery and fairness-regret and the controller's transition trail
+persisting as a schema-versioned artifact
+(:func:`~repro.serving.save_audit_trail`).  Monitor configuration travels
+as first-class objects — :class:`~repro.serving.MonitorThresholds`
+(derivable from a control replay at a target false-alarm rate via
+:func:`~repro.serving.calibrate_thresholds`) and
+:class:`~repro.serving.MonitorBaselines`.
 
 The scenario engine (:mod:`repro.simulate`) generates the drifting, bursty,
 group-shifting traffic the serving monitors exist to catch: registered,
@@ -194,7 +207,7 @@ from repro.telemetry import MetricsRegistry
 # Observability quickstart's `from repro import telemetry`.
 from repro import telemetry
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 # The serving subsystem consumes everything above (interventions, learners,
 # datasets), the simulation subsystem consumes serving, and the fleet
@@ -202,7 +215,11 @@ __version__ = "1.6.0"
 # order.
 from repro.serving import (
     FairnessMonitor,
+    MitigationController,
+    MonitorBaselines,
+    MonitorThresholds,
     PredictionService,
+    calibrate_thresholds,
     load_artifact,
     save_artifact,
 )
@@ -243,6 +260,9 @@ __all__ = [
     "KamiranReweighing",
     "LogisticRegressionClassifier",
     "MetricsRegistry",
+    "MitigationController",
+    "MonitorBaselines",
+    "MonitorThresholds",
     "MultiModel",
     "NoIntervention",
     "NotFittedError",
@@ -264,6 +284,7 @@ __all__ = [
     "available_datasets",
     "available_interventions",
     "available_scenarios",
+    "calibrate_thresholds",
     "density_filter",
     "describe_interventions",
     "discover_constraints",

@@ -17,11 +17,14 @@ New code should prefer the pipeline facade directly::
     result = FairnessPipeline(intervention="confair", learner="lr", dataset="meps").run()
 
 ``run_method`` and ``evaluate_cell`` are kept for compatibility with the
-pre-redesign API and with the published experiment scripts.
+pre-redesign API and with the published experiment scripts; both now emit a
+:class:`DeprecationWarning` (their results stay bit-identical to the
+pipeline's).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -99,6 +102,13 @@ def run_method(
         Deploy-set predictions and method-specific details (chosen degrees,
         routing fractions, ...).
     """
+    warnings.warn(
+        "run_method is deprecated; use "
+        "FairnessPipeline(intervention=..., dataset=split).run() instead "
+        "(the results are bit-identical)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     overrides = {
         name: value
         for name, value in (
@@ -131,7 +141,17 @@ def evaluate_cell(
     size_factor: Optional[float] = 0.05,
     **method_kwargs,
 ) -> CellResult:
-    """Load a dataset, split it, run one method, and evaluate the deploy set."""
+    """Load a dataset, split it, run one method, and evaluate the deploy set.
+
+    Deprecated; prefer ``FairnessPipeline(...).run()`` (bit-identical).
+    """
+    warnings.warn(
+        "evaluate_cell is deprecated; use "
+        "FairnessPipeline(intervention=..., dataset=...).run() instead "
+        "(the results are bit-identical)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     calibration_learner = method_kwargs.pop("calibration_learner", None)
     pipeline = FairnessPipeline(
         intervention=method,

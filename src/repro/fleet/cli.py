@@ -55,7 +55,7 @@ def cmd_serve(args) -> int:
             raise ValidationError("repro-fleet serve needs --shards >= 2")
     else:
         monitor_dir = tempfile.mkdtemp(prefix="repro-fleet-monitor-")
-        monitor_path = str(save_artifact(runner._baseline_monitor(), monitor_dir))
+        monitor_path = str(save_artifact(runner.make_monitor(), monitor_dir))
         fleet = FleetService(
             [
                 ProcessShardWorker(

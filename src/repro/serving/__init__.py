@@ -19,8 +19,35 @@ attribute at prediction time):
   fraction vs. the training mix).  The monitor is checkpointable —
   ``state_dict`` / ``load_state_dict`` round-trip the full sliding window
   bit-identically, and it rides in artifacts;
+* :mod:`repro.serving.mitigation` — :class:`MitigationController`, the
+  response half of the loop (see *Closing the loop* below), plus
+  :func:`calibrate_thresholds` for data-driven alarm thresholds;
 * :mod:`repro.serving.cli` — the ``repro-serve`` command
   (``fit``/``save``/``score``/``serve``), also ``python -m repro.serve``.
+
+Closing the loop
+----------------
+Detection alone does not keep a deployment fair; the paper's premise is
+that its interventions are cheap enough to *refit online*.
+:class:`MitigationController` wraps a monitored service and completes
+detect → mitigate → shadow-deploy → promote: on any monitor alarm it
+refits the intervention on the buffered drifted window (a fresh
+:class:`~repro.interventions.FairnessPipeline` with the same registry and
+``fit_n_jobs`` threading), runs the candidate as a **shadow model** scored
+by its own private :class:`FairnessMonitor` on the same live traffic —
+profile and baselines re-anchored on the drifted regime — and **promotes**
+it once the windowed DI* recovers to within tolerance of the last healthy
+level with no balanced-accuracy regression.  Every transition (``alarm``,
+``refit``, ``shadow_start``, ``promote``/``reject``) is recorded and
+persists via :func:`save_audit_trail` as a schema-versioned artifact that
+replays bit-identically.  Monitor configuration is first-class for this:
+thresholds travel as one :class:`MonitorThresholds` object (derive one
+from a control replay with :func:`calibrate_thresholds`), and baselines as
+one :class:`MonitorBaselines` via :meth:`FairnessMonitor.set_baselines`.
+Drive the whole loop from simulated drift with
+``repro-simulate run --mitigate`` or
+:meth:`repro.simulate.SuiteRunner.replay_scenario` (``mitigate=True``),
+which also scores time-to-recovery and fairness-regret.
 
 Thread safety
 -------------
@@ -79,16 +106,29 @@ Quickstart::
 from repro.serving.artifacts import (
     ARTIFACT_SCHEMA_VERSION,
     describe_artifact,
+    find_profile,
     load_artifact,
     read_manifest,
     register_serializable,
     save_artifact,
+)
+from repro.serving.mitigation import (
+    MITIGATION_SCHEMA_VERSION,
+    MitigationController,
+    MitigationTransition,
+    ThresholdCalibration,
+    calibrate_thresholds,
+    load_audit_trail,
+    save_audit_trail,
+    summarize_transitions,
 )
 from repro.serving.monitor import (
     DensityDriftStatus,
     DriftStatus,
     FairnessMonitor,
     GroupShiftStatus,
+    MonitorBaselines,
+    MonitorThresholds,
 )
 from repro.serving.service import PredictionService, ServiceStats
 
@@ -99,15 +139,26 @@ register_serializable(FairnessMonitor)
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "MITIGATION_SCHEMA_VERSION",
     "DensityDriftStatus",
     "DriftStatus",
     "FairnessMonitor",
     "GroupShiftStatus",
+    "MitigationController",
+    "MitigationTransition",
+    "MonitorBaselines",
+    "MonitorThresholds",
     "PredictionService",
     "ServiceStats",
+    "ThresholdCalibration",
+    "calibrate_thresholds",
     "describe_artifact",
+    "find_profile",
     "load_artifact",
+    "load_audit_trail",
     "read_manifest",
     "register_serializable",
     "save_artifact",
+    "save_audit_trail",
+    "summarize_transitions",
 ]

@@ -69,6 +69,7 @@ from repro.learners.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.profiling.constraints import ConformanceConstraint, ConstraintSet
 from repro.profiling.discovery import DiscoveryConfig
 from repro.profiling.projections import Projection
+from repro.serving.monitor import MonitorBaselines, MonitorThresholds
 from repro.telemetry import get_registry as _get_telemetry_registry
 
 ARTIFACT_SCHEMA_VERSION = 1
@@ -208,6 +209,10 @@ class _Encoder:
                 _KIND: "dict",
                 "items": [[self.encode(k), self.encode(v)] for k, v in value.items()],
             }
+        if isinstance(value, MonitorThresholds):
+            return {_KIND: "monitor_thresholds", "fields": self.encode(value.to_dict())}
+        if isinstance(value, MonitorBaselines):
+            return {_KIND: "monitor_baselines", "fields": self.encode(value.to_dict())}
         if isinstance(value, self._MEMOIZED_TYPES):
             index = self._memo.get(id(value))
             if index is not None:
@@ -472,6 +477,12 @@ class _Decoder:
     def _decode_fairness_report(self, node) -> FairnessReport:
         return FairnessReport(**self.decode(node["fields"]))
 
+    def _decode_monitor_thresholds(self, node) -> MonitorThresholds:
+        return MonitorThresholds.from_dict(self.decode(node["fields"]))
+
+    def _decode_monitor_baselines(self, node) -> MonitorBaselines:
+        return MonitorBaselines.from_dict(self.decode(node["fields"]))
+
     def _decode_deployed_model(self, node) -> DeployedModel:
         return DeployedModel.from_predictor(
             self.decode(node["predictor"]),
@@ -498,6 +509,32 @@ class _Decoder:
 # --------------------------------------------------------------------------
 # public API
 # --------------------------------------------------------------------------
+
+
+def find_profile(loaded) -> Optional[PartitionProfile]:
+    """Best-effort partition profile for drift monitoring, wherever it lives.
+
+    Accepts anything :func:`load_artifact` can return — a
+    :class:`PipelineResult`, a :class:`DeployedModel`, or a bare fitted
+    intervention — and walks ``profile_`` / ``estimator_`` attributes to
+    locate the fit-time :class:`~repro.core.partitions.PartitionProfile`.
+    Used by every CLI and by the mitigation controller to build monitors
+    from saved or freshly refitted models.
+    """
+    candidates = [loaded]
+    if isinstance(loaded, PipelineResult):
+        candidates = [loaded.model.predictor, loaded.intervention, loaded.model]
+    elif hasattr(loaded, "predictor"):
+        candidates.insert(0, loaded.predictor)
+    for candidate in candidates:
+        for attribute in ("profile_", "estimator_"):
+            inner = getattr(candidate, attribute, None)
+            if attribute == "profile_" and inner is not None:
+                return inner
+            profile = getattr(inner, "profile_", None)
+            if profile is not None:
+                return profile
+    return None
 
 
 def _root_kind(node: Any) -> str:

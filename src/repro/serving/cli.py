@@ -32,7 +32,12 @@ from repro.datasets import available_datasets, load_dataset, split_dataset
 from repro.exceptions import ReproError, ValidationError
 from repro.fairness import evaluate_predictions
 from repro.interventions import FairnessPipeline, PipelineResult, available_interventions
-from repro.serving.artifacts import describe_artifact, load_artifact, save_artifact
+from repro.serving.artifacts import (
+    describe_artifact,
+    find_profile,
+    load_artifact,
+    save_artifact,
+)
 from repro.serving.monitor import FairnessMonitor
 from repro.serving.service import PredictionService
 from repro.telemetry import enable as enable_telemetry, write_metrics
@@ -71,26 +76,10 @@ def emit_json(payload: Dict[str, object]) -> None:
     sys.stdout.write("\n")
 
 
-def find_profile(loaded) -> Optional[object]:
-    """Best-effort partition profile for drift monitoring, wherever it lives.
-
-    Shared with ``repro-simulate``, which builds monitors from the same
-    artifacts this CLI saves.
-    """
-    candidates = [loaded]
-    if isinstance(loaded, PipelineResult):
-        candidates = [loaded.model.predictor, loaded.intervention, loaded.model]
-    elif hasattr(loaded, "predictor"):
-        candidates.insert(0, loaded.predictor)
-    for candidate in candidates:
-        for attribute in ("profile_", "estimator_"):
-            inner = getattr(candidate, attribute, None)
-            if attribute == "profile_" and inner is not None:
-                return inner
-            profile = getattr(inner, "profile_", None)
-            if profile is not None:
-                return profile
-    return None
+# find_profile now lives in repro.serving.artifacts (the mitigation
+# controller needs it without a CLI import); the name stays importable from
+# here for existing callers.
+__all__ = ["emit_json", "find_profile", "main", "parse_params"]
 
 
 # ---------------------------------------------------------------- commands
@@ -187,7 +176,7 @@ def cmd_serve(args) -> int:
     _, split = _load_split(args)
     deploy = split.deploy
     if monitor.profile is not None:
-        monitor.set_drift_baseline(split.train.X)
+        monitor.set_baselines(violation=split.train.X)
 
     rows = args.rows if args.rows else deploy.n_samples
     repeats = int(np.ceil(rows / deploy.n_samples))

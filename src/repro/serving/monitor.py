@@ -59,8 +59,9 @@ same state.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Deque, Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -132,6 +133,109 @@ class GroupShiftStatus:
     alarm: bool
 
 
+@dataclass(frozen=True)
+class MonitorThresholds:
+    """The monitor's alarm thresholds as one validated, immutable config object.
+
+    This is the canonical spelling of what used to be five loose keyword
+    arguments on :class:`FairnessMonitor` — and the value
+    :func:`repro.serving.mitigation.calibrate_thresholds` returns, so a
+    calibrated configuration can be passed around, persisted in artifacts,
+    and handed to ``FairnessMonitor(thresholds=...)`` as a single object.
+
+    Fields mirror the monitor's semantics: ``drift_factor`` (alarm when the
+    windowed mean violation exceeds this multiple of the baseline),
+    ``min_violation`` (absolute floor for that threshold), ``min_samples``
+    (scored observations required before any alarm may fire),
+    ``density_drop`` (nats the windowed mean log-density must fall below the
+    baseline), and ``group_tolerance`` (absolute minority-fraction shift
+    tolerated).
+    """
+
+    drift_factor: float = 3.0
+    min_violation: float = 0.05
+    min_samples: int = 50
+    density_drop: float = 1.0
+    group_tolerance: float = 0.15
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "drift_factor", float(self.drift_factor))
+        object.__setattr__(self, "min_violation", float(self.min_violation))
+        object.__setattr__(self, "min_samples", int(self.min_samples))
+        object.__setattr__(self, "density_drop", float(self.density_drop))
+        object.__setattr__(self, "group_tolerance", float(self.group_tolerance))
+        if self.drift_factor <= 0:
+            raise ValidationError("drift_factor must be positive")
+        if self.min_violation < 0:
+            raise ValidationError("min_violation must be non-negative")
+        if self.min_samples < 1:
+            raise ValidationError("min_samples must be at least 1")
+        if self.density_drop <= 0:
+            raise ValidationError("density_drop must be positive")
+        if not 0.0 < self.group_tolerance <= 1.0:
+            raise ValidationError("group_tolerance must be in (0, 1]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-scalar dict form (JSON- and artifact-friendly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MonitorThresholds":
+        """Rebuild from :meth:`to_dict` output, rejecting unknown keys."""
+        fields = ("drift_factor", "min_violation", "min_samples", "density_drop", "group_tolerance")
+        unknown = sorted(set(data) - set(fields))
+        if unknown:
+            raise ValidationError(
+                f"MonitorThresholds does not accept: {', '.join(map(repr, unknown))}"
+            )
+        return cls(**{key: data[key] for key in fields if key in data})
+
+    def replace(self, **changes: Any) -> "MonitorThresholds":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class MonitorBaselines:
+    """The monitor's drift reference points as one immutable record.
+
+    Each field is a *precomputed scalar* — ``violation`` (fit-time mean
+    conformance violation), ``log_density`` (fit-time mean log-density), and
+    ``group_fraction`` (training minority fraction) — with ``None`` meaning
+    "leave that channel's baseline untouched / unset".  Produced by
+    :attr:`FairnessMonitor.baselines` and consumed by
+    :meth:`FairnessMonitor.set_baselines`, which also accepts raw arrays per
+    channel and scores them itself.
+    """
+
+    violation: Optional[float] = None
+    log_density: Optional[float] = None
+    group_fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("violation", "log_density", "group_fraction"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, float(value))
+        if self.group_fraction is not None and not 0.0 <= self.group_fraction <= 1.0:
+            raise ValidationError("the baseline minority fraction must be in [0, 1]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-scalar dict form (JSON- and artifact-friendly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MonitorBaselines":
+        """Rebuild from :meth:`to_dict` output, rejecting unknown keys."""
+        fields = ("violation", "log_density", "group_fraction")
+        unknown = sorted(set(data) - set(fields))
+        if unknown:
+            raise ValidationError(
+                f"MonitorBaselines does not accept: {', '.join(map(repr, unknown))}"
+            )
+        return cls(**{key: data[key] for key in fields if key in data})
+
+
 class FairnessMonitor(BaseEstimator):
     """Sliding-window fairness metrics plus conformance/density/group drift alarms.
 
@@ -155,22 +259,16 @@ class FairnessMonitor(BaseEstimator):
         How many leading feature columns are numeric (what the constraints
         and the density estimator profile).  Defaults to the width the
         profile's constraints (or the density estimator) expect.
-    drift_factor:
-        Alarm when the windowed mean violation exceeds this multiple of the
-        baseline violation.
-    min_violation:
-        Absolute floor for the alarm threshold, so near-zero baselines do
-        not turn noise into alarms.
-    min_samples:
-        Minimum scored observations in the window before either alarm may
-        fire.
-    density_drop:
-        Density-drift alarm threshold: the windowed mean log-density must
-        fall this many nats below the baseline.
-    group_tolerance:
-        Group-prevalence alarm threshold: the windowed minority fraction must
-        move this far (absolute) from the baseline fraction fixed by
-        :meth:`set_group_baseline`.
+    thresholds:
+        The alarm thresholds as one :class:`MonitorThresholds` config object
+        — the canonical spelling, and what
+        :func:`repro.serving.mitigation.calibrate_thresholds` returns.
+    drift_factor, min_violation, min_samples, density_drop, group_tolerance:
+        **Deprecated** flat spelling of the same thresholds; equivalent to
+        passing ``thresholds=MonitorThresholds(...)``.  Passing both
+        spellings is accepted only when they agree (clones and artifact
+        round trips do this); a disagreement raises
+        :class:`~repro.exceptions.ValidationError`.
     """
 
     def __init__(
@@ -180,33 +278,56 @@ class FairnessMonitor(BaseEstimator):
         profile: Optional[PartitionProfile] = None,
         density_estimator: Optional[KernelDensity] = None,
         n_numeric_features: Optional[int] = None,
-        drift_factor: float = 3.0,
-        min_violation: float = 0.05,
-        min_samples: int = 50,
-        density_drop: float = 1.0,
-        group_tolerance: float = 0.15,
+        thresholds: Optional[MonitorThresholds] = None,
+        drift_factor: Optional[float] = None,
+        min_violation: Optional[float] = None,
+        min_samples: Optional[int] = None,
+        density_drop: Optional[float] = None,
+        group_tolerance: Optional[float] = None,
     ) -> None:
         if window_size < 1:
             raise ValidationError("window_size must be at least 1")
-        if drift_factor <= 0:
-            raise ValidationError("drift_factor must be positive")
-        if density_drop <= 0:
-            raise ValidationError("density_drop must be positive")
-        if not 0.0 < group_tolerance <= 1.0:
-            raise ValidationError("group_tolerance must be in (0, 1]")
         if density_estimator is not None and not hasattr(density_estimator, "training_data_"):
             raise ValidationError(
                 "density_estimator must be a fitted KernelDensity (call fit() first)"
             )
+        flat = {
+            "drift_factor": drift_factor,
+            "min_violation": min_violation,
+            "min_samples": min_samples,
+            "density_drop": density_drop,
+            "group_tolerance": group_tolerance,
+        }
+        provided = {key: value for key, value in flat.items() if value is not None}
+        if thresholds is None:
+            if provided:
+                warnings.warn(
+                    "Passing flat threshold kwargs to FairnessMonitor is "
+                    "deprecated; pass thresholds=MonitorThresholds(...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            resolved = MonitorThresholds(**provided)
+        else:
+            if not isinstance(thresholds, MonitorThresholds):
+                raise ValidationError(
+                    "thresholds must be a MonitorThresholds instance, got "
+                    f"{type(thresholds).__name__}"
+                )
+            resolved = thresholds
+            for key, value in provided.items():
+                coerced = int(value) if key == "min_samples" else float(value)
+                if coerced != getattr(resolved, key):
+                    raise ValidationError(
+                        f"ambiguous monitor configuration: thresholds.{key}="
+                        f"{getattr(resolved, key)!r} but the flat kwarg {key}="
+                        f"{value!r} disagrees; pass a single spelling"
+                    )
         self.window_size = int(window_size)
         self.profile = profile
         self.density_estimator = density_estimator
         self.n_numeric_features = n_numeric_features
-        self.drift_factor = float(drift_factor)
-        self.min_violation = float(min_violation)
-        self.min_samples = int(min_samples)
-        self.density_drop = float(density_drop)
-        self.group_tolerance = float(group_tolerance)
+        self._apply_thresholds(resolved)
 
         # Per retained batch: (counts, batch size, violation sum, violation
         # rows, log-density sum, log-density rows, sequence number).  The
@@ -231,6 +352,20 @@ class FairnessMonitor(BaseEstimator):
         self._baseline_log_density: Optional[float] = None
         self._baseline_group_fraction: Optional[float] = None
         self.n_seen = 0
+
+    def _apply_thresholds(self, thresholds: MonitorThresholds) -> None:
+        """Install a threshold config, mirroring it onto the flat attributes.
+
+        The flat attributes stay the internal (and ``merge``-compared)
+        representation so existing readers keep working; ``self.thresholds``
+        is the canonical config object they mirror.
+        """
+        self.thresholds = thresholds
+        self.drift_factor = thresholds.drift_factor
+        self.min_violation = thresholds.min_violation
+        self.min_samples = thresholds.min_samples
+        self.density_drop = thresholds.density_drop
+        self.group_tolerance = thresholds.group_tolerance
 
     # ----------------------------------------------------------- updating
     def update(self, y_pred, group=None, *, y_true=None, X=None, sequence=None) -> None:
@@ -369,31 +504,17 @@ class FairnessMonitor(BaseEstimator):
         scores = self.density_estimator.score_samples(numeric)
         return np.maximum(scores, LOG_DENSITY_FLOOR)
 
-    def set_drift_baseline(self, X) -> float:
-        """Fix the reference mean violation.
-
-        ``X`` is typically the fit-time feature matrix; a scalar is accepted
-        as a precomputed baseline (so suite runners can score the training
-        data once and share the number across many fresh monitors).
-        """
+    def _resolve_drift_baseline(self, X) -> float:
         if np.isscalar(X):
-            baseline = float(X)
-        else:
-            baseline = float(self.violation_scores(X).mean())
-        self._baseline_violation = baseline
-        return baseline
+            return float(X)
+        return float(self.violation_scores(X).mean())
 
-    def set_density_baseline(self, X) -> float:
-        """Fix the reference mean log-density (fit-time data, or a scalar)."""
+    def _resolve_density_baseline(self, X) -> float:
         if np.isscalar(X):
-            baseline = float(X)
-        else:
-            baseline = float(self.log_density_scores(X).mean())
-        self._baseline_log_density = baseline
-        return baseline
+            return float(X)
+        return float(self.log_density_scores(X).mean())
 
-    def set_group_baseline(self, group_or_fraction) -> float:
-        """Fix the reference minority fraction (an array of 0/1 or a float)."""
+    def _resolve_group_baseline(self, group_or_fraction) -> float:
         if np.isscalar(group_or_fraction):
             baseline = float(group_or_fraction)
         else:
@@ -403,6 +524,99 @@ class FairnessMonitor(BaseEstimator):
             baseline = float(np.mean(group == 1))
         if not 0.0 <= baseline <= 1.0:
             raise ValidationError("the baseline minority fraction must be in [0, 1]")
+        return baseline
+
+    def set_baselines(
+        self,
+        baselines: Optional[MonitorBaselines] = None,
+        *,
+        violation=None,
+        log_density=None,
+        group_fraction=None,
+    ) -> MonitorBaselines:
+        """Fix the drift reference points in one call; returns the result.
+
+        Accepts either a :class:`MonitorBaselines` of precomputed scalars
+        (e.g. another monitor's :attr:`baselines`, or a suite runner's shared
+        scores) *or* per-channel keyword values, where each value may be raw
+        data the monitor scores itself — a feature matrix for ``violation``
+        and ``log_density``, an array of 0/1 memberships or a float for
+        ``group_fraction`` — or an already-computed scalar.  Channels left
+        ``None`` keep their current baseline, so partial updates compose.
+        """
+        if baselines is not None:
+            if not isinstance(baselines, MonitorBaselines):
+                raise ValidationError(
+                    "baselines must be a MonitorBaselines instance, got "
+                    f"{type(baselines).__name__}"
+                )
+            if violation is not None or log_density is not None or group_fraction is not None:
+                raise ValidationError(
+                    "pass either a MonitorBaselines object or per-channel "
+                    "values, not both"
+                )
+            if baselines.violation is not None:
+                self._baseline_violation = baselines.violation
+            if baselines.log_density is not None:
+                self._baseline_log_density = baselines.log_density
+            if baselines.group_fraction is not None:
+                self._baseline_group_fraction = baselines.group_fraction
+            return self.baselines
+        if violation is not None:
+            self._baseline_violation = self._resolve_drift_baseline(violation)
+        if log_density is not None:
+            self._baseline_log_density = self._resolve_density_baseline(log_density)
+        if group_fraction is not None:
+            self._baseline_group_fraction = self._resolve_group_baseline(group_fraction)
+        return self.baselines
+
+    @property
+    def baselines(self) -> MonitorBaselines:
+        """The currently fixed reference points (``None`` fields are unset)."""
+        return MonitorBaselines(
+            violation=self._baseline_violation,
+            log_density=self._baseline_log_density,
+            group_fraction=self._baseline_group_fraction,
+        )
+
+    def set_drift_baseline(self, X) -> float:
+        """Deprecated: use :meth:`set_baselines` ``(violation=X)``.
+
+        ``X`` is typically the fit-time feature matrix; a scalar is accepted
+        as a precomputed baseline (so suite runners can score the training
+        data once and share the number across many fresh monitors).
+        """
+        warnings.warn(
+            "set_drift_baseline is deprecated; use "
+            "FairnessMonitor.set_baselines(violation=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        baseline = self._resolve_drift_baseline(X)
+        self._baseline_violation = baseline
+        return baseline
+
+    def set_density_baseline(self, X) -> float:
+        """Deprecated: use :meth:`set_baselines` ``(log_density=X)``."""
+        warnings.warn(
+            "set_density_baseline is deprecated; use "
+            "FairnessMonitor.set_baselines(log_density=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        baseline = self._resolve_density_baseline(X)
+        self._baseline_log_density = baseline
+        return baseline
+
+    def set_group_baseline(self, group_or_fraction) -> float:
+        """Deprecated: use :meth:`set_baselines` ``(group_fraction=...)``."""
+        warnings.warn(
+            "set_group_baseline is deprecated; use "
+            "FairnessMonitor.set_baselines(group_fraction=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        baseline = self._resolve_group_baseline(group_or_fraction)
         self._baseline_group_fraction = baseline
         return baseline
 
@@ -425,11 +639,7 @@ class FairnessMonitor(BaseEstimator):
             profile=self.profile,
             density_estimator=self.density_estimator,
             n_numeric_features=self.n_numeric_features,
-            drift_factor=self.drift_factor,
-            min_violation=self.min_violation,
-            min_samples=self.min_samples,
-            density_drop=self.density_drop,
-            group_tolerance=self.group_tolerance,
+            thresholds=self.thresholds,
         )
 
     def drift_status(self) -> DriftStatus:
@@ -528,6 +738,7 @@ class FairnessMonitor(BaseEstimator):
 
     # ------------------------------------------------------- checkpointing
     _state_attributes = (
+        "thresholds_",
         "n_seen_",
         "next_sequence_",
         "evicted_through_",
@@ -556,6 +767,7 @@ class FairnessMonitor(BaseEstimator):
         """
         chunks = list(self._chunks)
         return {
+            "thresholds_": self.thresholds.to_dict(),
             "n_seen_": self.n_seen,
             "next_sequence_": self._next_sequence,
             "evicted_through_": self._evicted_through,
@@ -637,6 +849,7 @@ class FairnessMonitor(BaseEstimator):
         self._log_density_rows = int(state["log_density_rows_"])
         self._next_sequence = int(state["next_sequence_"])
         self._evicted_through = int(state["evicted_through_"])
+        self._apply_thresholds(MonitorThresholds.from_dict(dict(state["thresholds_"])))
         for attribute, key in (
             ("_baseline_violation", "baseline_violation_"),
             ("_baseline_log_density", "baseline_log_density_"),
@@ -688,6 +901,15 @@ class FairnessMonitor(BaseEstimator):
             raise ValidationError("merge_state_dicts needs at least one monitor state")
         if window_size < 1:
             raise ValidationError("window_size must be at least 1")
+        thresholds = MonitorThresholds.from_dict(dict(states[0]["thresholds_"]))
+        for state in states[1:]:
+            other = MonitorThresholds.from_dict(dict(state["thresholds_"]))
+            if other != thresholds:
+                raise ValidationError(
+                    "Cannot merge monitor states with diverging thresholds "
+                    f"({thresholds!r} vs {other!r}); shards of one fleet must "
+                    "share a monitor configuration"
+                )
         baselines: Dict[str, Any] = {}
         for key in ("baseline_violation_", "baseline_log_density_", "baseline_group_fraction_"):
             values = [state[key] for state in states]
@@ -736,7 +958,7 @@ class FairnessMonitor(BaseEstimator):
                     "assign each dispatched batch a unique stream-wide sequence"
                 )
         evicted_through = max(int(state["evicted_through_"]) for state in states)
-        merged = cls(window_size=window_size)
+        merged = cls(window_size=window_size, thresholds=thresholds)
         merged._evicted_through = evicted_through
         for sequence, chunk in chunks:
             if sequence <= evicted_through:

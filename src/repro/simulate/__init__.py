@@ -24,7 +24,27 @@ it:
 * :mod:`repro.simulate.suites` — named scenario suites and the
   :class:`SuiteRunner` that replays them with shared baselines;
 * :mod:`repro.simulate.cli` — the ``repro-simulate`` command
-  (``list`` / ``run`` / ``suite``), also ``python -m repro.simulate``.
+  (``list`` / ``run`` / ``suite`` / ``calibrate``), also
+  ``python -m repro.simulate``.
+
+Closing the loop
+----------------
+Detection is only half the story: replays can also drive the *response*.
+Hand :class:`ReplayHarness` a
+:class:`~repro.serving.MitigationController` (or call
+:meth:`SuiteRunner.replay_scenario` with ``mitigate=True``, or
+``repro-simulate run --mitigate``) and every alarm triggers the refit →
+shadow-score → promote loop while the replay keeps scoring.  The
+:class:`~repro.simulate.replay.ReplayResult` then reports
+**time-to-recovery** (steps/records from drift onset until alarms clear and
+windowed DI* is back within tolerance of its pre-drift level) and
+**fairness regret** (summed per-step DI* shortfall over the post-drift
+horizon) alongside the detection metrics, plus the controller's transition
+summary; the full audit trail persists via
+:func:`repro.serving.save_audit_trail`.  To place the alarm thresholds
+themselves on a false-alarm budget, :meth:`SuiteRunner.calibrate` (or
+``repro-simulate calibrate``) derives a
+:class:`~repro.serving.MonitorThresholds` from a stationary control replay.
 
 Quickstart::
 
@@ -37,7 +57,7 @@ Quickstart::
     split = split_dataset(data, random_state=7)
 
     monitor = FairnessMonitor(window_size=2000)
-    monitor.set_group_baseline(split.train.group)
+    monitor.set_baselines(group_fraction=split.train.group)
     service = PredictionService(result.model, monitor=monitor)
 
     stream = TrafficStream(split.deploy, make_scenario("group_shift"),

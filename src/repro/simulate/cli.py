@@ -1,20 +1,29 @@
 """Command-line front end: scenario simulation and serving replay.
 
-Three subcommands wire the simulation subsystem end to end::
+Four subcommands wire the simulation subsystem end to end::
 
     repro-simulate list
-    repro-simulate run   --scenario group_shift --dataset meps
-    repro-simulate suite --suite default --dataset meps
+    repro-simulate run       --scenario group_shift --dataset meps
+    repro-simulate run       --scenario group_shift --mitigate --audit-out trail
+    repro-simulate suite     --suite default --dataset meps
+    repro-simulate calibrate --dataset meps --target-far 0.05
 
 ``run`` replays one named scenario against a monitored
 :class:`~repro.serving.PredictionService` and emits the scored
 :class:`~repro.simulate.replay.ReplayResult` as JSON (detection latency,
-false-alarm rate, windowed fairness degradation, throughput); ``suite``
-replays every scenario of a named suite and emits one row per scenario.
-Both always drive the service **from a saved artifact**: pass ``--artifact``
-to use one produced by ``repro-serve fit``, or omit it and the command fits a
-pipeline, saves the artifact (to ``--out`` or a temporary directory), and
-loads it back before a single record is served.
+false-alarm rate, windowed fairness degradation, throughput); with
+``--mitigate`` the service is wrapped in a
+:class:`~repro.serving.MitigationController`, closing the loop — the result
+additionally carries time-to-recovery, fairness-regret, and the controller's
+transition summary, and ``--audit-out`` persists the full transition trail
+as a schema-versioned artifact.  ``suite`` replays every scenario of a named
+suite and emits one row per scenario.  ``calibrate`` replays a stationary
+control stream and derives :class:`~repro.serving.MonitorThresholds` hitting
+a target false-alarm rate.  All of them drive the service **from a saved
+artifact**: pass ``--artifact`` to use one produced by ``repro-serve fit``,
+or omit it and the command fits a pipeline, saves the artifact (to ``--out``
+or a temporary directory), and loads it back before a single record is
+served.
 
 Also available as ``python -m repro.simulate``.
 """
@@ -32,7 +41,10 @@ from repro.exceptions import ReproError
 from repro.interventions import FairnessPipeline, available_interventions
 from repro.serving.artifacts import load_artifact, save_artifact
 from repro.serving.cli import emit_json, find_profile, parse_params
+from repro.serving.mitigation import save_audit_trail
 from repro.simulate.registry import available_scenarios, describe_scenarios, make_scenario
+from repro.simulate.replay import ReplayHarness
+from repro.simulate.stream import TrafficStream
 from repro.simulate.suites import SuiteRunner, available_suites
 from repro.telemetry import enable as enable_telemetry, write_metrics
 
@@ -83,6 +95,16 @@ def _make_runner(args, loaded, split) -> SuiteRunner:
         density_estimator = KernelDensity(bandwidth="scott", kernel="gaussian").fit(
             split.train.numeric_X
         )
+    mitigation_params = {}
+    for knob, option in (
+        ("min_refit_rows", "min_refit_rows"),
+        ("min_shadow_steps", "min_shadow_steps"),
+        ("max_shadow_steps", "max_shadow_steps"),
+        ("cooldown_steps", "cooldown_steps"),
+    ):
+        value = getattr(args, option, None)
+        if value is not None:
+            mitigation_params[knob] = value
     return SuiteRunner(
         loaded,
         split.train,
@@ -93,6 +115,11 @@ def _make_runner(args, loaded, split) -> SuiteRunner:
         group_tolerance=args.group_tolerance,
         service_batch_size=args.batch_size,
         max_workers=args.workers,
+        intervention=args.intervention,
+        learner=args.learner,
+        intervention_params=parse_params(args.param),
+        fit_n_jobs=getattr(args, "n_jobs", None),
+        mitigation_params=mitigation_params,
     )
 
 
@@ -108,19 +135,73 @@ def cmd_run(args) -> int:
     artifact, loaded, split = _prepare(args)
     runner = _make_runner(args, loaded, split)
     scenario = make_scenario(args.scenario, **parse_params(args.scenario_param))
-    result = runner.replay_scenario(
-        scenario,
-        split.deploy,
-        label=args.scenario,
-        n_steps=args.steps,
-        batch_size=args.stream_batch,
-        seed=args.seed,
-    )
     payload = {
         "artifact": artifact,
         "dataset": args.dataset,
         "scenario": repr(scenario),
-        "result": result.to_dict(include_steps=args.trace),
+    }
+    if args.mitigate:
+        # The controller outlives the replay so its full transition trail
+        # (not just the summary riding on the result) can be persisted.
+        stream = TrafficStream(
+            split.deploy,
+            scenario,
+            n_steps=args.steps,
+            batch_size=args.stream_batch,
+            random_state=args.seed,
+        )
+        with runner.make_service(mitigate=True, seed=args.seed) as controller:
+            result = ReplayHarness(controller).replay(
+                stream,
+                label=args.scenario,
+                recovery_tolerance=args.recovery_tolerance,
+            )
+            if args.audit_out:
+                payload["audit_out"] = str(
+                    save_audit_trail(
+                        controller,
+                        args.audit_out,
+                        metadata={
+                            "command": "simulate",
+                            "scenario": args.scenario,
+                            "dataset": args.dataset,
+                            "seed": args.seed,
+                        },
+                    )
+                )
+    else:
+        result = runner.replay_scenario(
+            scenario,
+            split.deploy,
+            label=args.scenario,
+            n_steps=args.steps,
+            batch_size=args.stream_batch,
+            seed=args.seed,
+            recovery_tolerance=args.recovery_tolerance,
+        )
+    payload["result"] = result.to_dict(include_steps=args.trace)
+    if args.metrics_out:
+        payload["metrics_out"] = write_metrics(args.metrics_out)
+    emit_json(payload)
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    if args.metrics_out:
+        enable_telemetry()
+    artifact, loaded, split = _prepare(args)
+    runner = _make_runner(args, loaded, split)
+    calibration = runner.calibrate(
+        split.deploy,
+        n_steps=args.steps,
+        batch_size=args.stream_batch,
+        seed=args.seed,
+        target_false_alarm_rate=args.target_far,
+    )
+    payload = {
+        "artifact": artifact,
+        "dataset": args.dataset,
+        "calibration": calibration.to_dict(),
     }
     if args.metrics_out:
         payload["metrics_out"] = write_metrics(args.metrics_out)
@@ -260,6 +341,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="scenario constructor parameter (repeatable; value parsed as JSON)",
     )
+    run.add_argument(
+        "--mitigate",
+        action="store_true",
+        help="wrap the service in a MitigationController: on alarm, refit "
+        "the intervention on the drifted window, shadow-score the candidate "
+        "on live traffic, and promote when fairness recovers",
+    )
+    run.add_argument(
+        "--audit-out",
+        default=None,
+        metavar="PATH",
+        help="with --mitigate: persist the controller's transition trail as "
+        "a schema-versioned artifact directory",
+    )
+    run.add_argument(
+        "--min-refit-rows",
+        type=int,
+        default=None,
+        help="with --mitigate: buffered post-alarm rows required before refitting",
+    )
+    run.add_argument(
+        "--min-shadow-steps",
+        type=int,
+        default=None,
+        help="with --mitigate: shadow observations required before a promote verdict",
+    )
+    run.add_argument(
+        "--max-shadow-steps",
+        type=int,
+        default=None,
+        help="with --mitigate: shadow observations before giving up (reject)",
+    )
+    run.add_argument(
+        "--cooldown-steps",
+        type=int,
+        default=None,
+        help="with --mitigate: steps to ignore alarms after a verdict",
+    )
+    run.add_argument(
+        "--recovery-tolerance",
+        type=float,
+        default=0.05,
+        help="DI* band around the pre-drift baseline that counts as recovered",
+    )
     run.set_defaults(func=cmd_run)
 
     suite = sub.add_parser("suite", help="replay every scenario of a named suite")
@@ -270,6 +395,21 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"suite name (one of {', '.join(available_suites())})",
     )
     suite.set_defaults(func=cmd_suite)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="derive MonitorThresholds from a stationary control replay "
+        "at a target false-alarm rate",
+    )
+    add_replay_options(calibrate)
+    calibrate.add_argument(
+        "--target-far",
+        type=float,
+        default=0.05,
+        help="target false-alarm rate over eligible control steps "
+        "(the achieved rate is at most this)",
+    )
+    calibrate.set_defaults(func=cmd_calibrate)
     return parser
 
 

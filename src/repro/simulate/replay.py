@@ -18,6 +18,17 @@ respond to the scenario's *declared* ground truth:
 
 Every per-step observation is kept as a :class:`StepRecord`, so callers can
 plot or assert on the full trajectory.
+
+The harness also closes the loop: hand it a
+:class:`~repro.serving.MitigationController` instead of a bare service and
+the replay additionally scores the *response* — **time-to-recovery** (steps
+and records from the first drifted batch until the alarms have cleared and
+the windowed DI* sits back within ``recovery_tolerance`` of its pre-drift
+baseline for the rest of the stream) and
+**fairness regret** (the summed per-step shortfall of windowed DI* below
+that baseline over the post-drift horizon) — and records the controller's
+transition events (``alarm``/``refit``/``shadow_start``/``promote``/…) on
+the step where each fired.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import SimulationError
+from repro.serving.mitigation import summarize_transitions
 from repro.serving.service import PredictionService
 from repro.simulate.stream import TrafficStream
 from repro.telemetry import get_registry as _get_telemetry_registry
@@ -34,7 +46,12 @@ from repro.telemetry import get_registry as _get_telemetry_registry
 
 @dataclass(frozen=True)
 class StepRecord:
-    """One replayed step: ground truth, alarm state, windowed fairness."""
+    """One replayed step: ground truth, alarm state, windowed fairness.
+
+    ``mitigation`` lists the controller transition events (``"alarm"``,
+    ``"refit"``, ``"shadow_start"``, ``"promote"``, …) that fired during
+    this step; it stays empty when the replay drives a plain service.
+    """
 
     step: int
     t: float
@@ -43,6 +60,7 @@ class StepRecord:
     alarm: bool
     channels: Tuple[str, ...]
     di_star: Optional[float]
+    mitigation: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -53,6 +71,7 @@ class StepRecord:
             "alarm": self.alarm,
             "channels": list(self.channels),
             "di_star": self.di_star,
+            "mitigation": list(self.mitigation),
         }
 
 
@@ -79,6 +98,15 @@ class ReplayResult:
     records_per_second: float
     channel_first_alarm: Dict[str, int] = field(default_factory=dict)
     steps: List[StepRecord] = field(default_factory=list)
+    # Mitigation scoring (populated when the replay drives a
+    # MitigationController; recovery fields stay None for plain services
+    # or when the drift never pushed DI* below the recovery band).
+    recovered: bool = False
+    recovery_step: Optional[int] = None
+    time_to_recovery_steps: Optional[int] = None
+    time_to_recovery_records: Optional[int] = None
+    fairness_regret: Optional[float] = None
+    mitigation: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self, *, include_steps: bool = False) -> Dict[str, object]:
         """JSON-ready view; pass ``include_steps=True`` for the full trace."""
@@ -101,6 +129,12 @@ class ReplayResult:
             "di_star_degradation": self.di_star_degradation,
             "records_per_second": round(self.records_per_second, 1),
             "channel_first_alarm": dict(self.channel_first_alarm),
+            "recovered": self.recovered,
+            "recovery_step": self.recovery_step,
+            "time_to_recovery_steps": self.time_to_recovery_steps,
+            "time_to_recovery_records": self.time_to_recovery_records,
+            "fairness_regret": self.fairness_regret,
+            "mitigation": dict(self.mitigation),
         }
         if include_steps:
             out["steps"] = [record.to_dict() for record in self.steps]
@@ -118,7 +152,11 @@ class ReplayHarness:
         thing under test; a replay without one raises
         :class:`~repro.exceptions.SimulationError`).  Anything speaking the
         same protocol works too — a :class:`~repro.fleet.FleetService` whose
-        ``monitor`` property merges the shard windows replays identically.
+        ``monitor`` property merges the shard windows replays identically,
+        and a :class:`~repro.serving.MitigationController` closes the loop:
+        its transition events land on the :class:`StepRecord` where they
+        fired and the result gains time-to-recovery / fairness-regret
+        scores.
     """
 
     def __init__(self, service: PredictionService) -> None:
@@ -149,7 +187,13 @@ class ReplayHarness:
         return tuple(channels)
 
     # ------------------------------------------------------------- replay
-    def replay(self, stream: TrafficStream, *, label: Optional[str] = None) -> ReplayResult:
+    def replay(
+        self,
+        stream: TrafficStream,
+        *,
+        label: Optional[str] = None,
+        recovery_tolerance: float = 0.05,
+    ) -> ReplayResult:
         """Serve every batch of ``stream`` and score the monitor's response.
 
         When telemetry is enabled, the replay leaves a span trace — one
@@ -158,9 +202,19 @@ class ReplayHarness:
         Spans record wall-time only; nothing telemetry measures feeds the
         :class:`ReplayResult`, so sharded-vs-single bit-identity is
         unaffected by enabling it.
+
+        ``recovery_tolerance`` sets the recovery band: the stream has
+        *recovered* at the earliest post-drift step from which the rest of
+        the stream is alarm-free with every windowed DI* observation within
+        ``recovery_tolerance`` of the last pre-drift value.
         """
         telemetry = getattr(self.service, "telemetry", None)
         telemetry = telemetry if telemetry is not None else _get_telemetry_registry()
+        # A MitigationController exposes its transition log; a plain
+        # service does not (duck-typed so fleet services keep working).
+        transitions = getattr(self.service, "transitions", None)
+        transitions_start = len(transitions) if transitions is not None else 0
+        transitions_seen = transitions_start
         records_before = self.service.stats.n_records
         start = time.perf_counter()
 
@@ -179,6 +233,12 @@ class ReplayHarness:
                     stream.observe(batch, predictions)
                     channels = self._alarm_channels()
                     step_span.set(channels=list(channels))
+                events: Tuple[str, ...] = ()
+                if transitions is not None:
+                    events = tuple(
+                        record.event for record in transitions[transitions_seen:]
+                    )
+                    transitions_seen = len(transitions)
                 for channel in channels:
                     channel_first_alarm.setdefault(channel, batch.step)
                 steps.append(
@@ -190,6 +250,7 @@ class ReplayHarness:
                         alarm=bool(channels),
                         channels=channels,
                         di_star=self.monitor.windowed_summary().get("di_star"),
+                        mitigation=events,
                     )
                 )
         elapsed = time.perf_counter() - start
@@ -202,6 +263,12 @@ class ReplayHarness:
             n_records=n_records,
             records_per_second=n_records / elapsed if elapsed > 0 else 0.0,
             channel_first_alarm=channel_first_alarm,
+            recovery_tolerance=recovery_tolerance,
+            mitigation=(
+                summarize_transitions(transitions[transitions_start:])
+                if transitions is not None
+                else {}
+            ),
         )
 
     # ------------------------------------------------------------ scoring
@@ -214,6 +281,8 @@ class ReplayHarness:
         n_records: int,
         records_per_second: float,
         channel_first_alarm: Dict[str, int],
+        recovery_tolerance: float = 0.05,
+        mitigation: Optional[Dict[str, object]] = None,
     ) -> ReplayResult:
         drifted_steps = [record.step for record in steps if record.drifted]
         first_drift = drifted_steps[0] if drifted_steps else None
@@ -267,6 +336,45 @@ class ReplayHarness:
             else None
         )
 
+        # Recovery: a post-drift step is *disturbed* while an alarm is up or
+        # the windowed DI* sits below the tolerance band around the
+        # pre-drift baseline.  The stream has recovered at the first step
+        # after the last disturbed one — i.e. once the remaining suffix is
+        # alarm-quiet and fairness-healthy (a one-step blip back into the
+        # band does not count).  A replay whose drift never disturbed
+        # anything has nothing to recover from and reports None.
+        recovery_step: Optional[int] = None
+        regret: Optional[float] = None
+        if first_drift is not None and baseline_di is not None:
+            floor = baseline_di - recovery_tolerance
+            post = [record for record in steps if record.step >= first_drift]
+            regret = sum(
+                baseline_di - record.di_star
+                for record in post
+                if record.di_star is not None and record.di_star < baseline_di
+            )
+            disturbed = [
+                record.step
+                for record in post
+                if record.alarm
+                or (record.di_star is not None and record.di_star < floor)
+            ]
+            if disturbed:
+                last_disturbed = disturbed[-1]
+                after = [record.step for record in post if record.step > last_disturbed]
+                if after:
+                    recovery_step = after[0]
+        ttr_steps = recovery_step - first_drift if recovery_step is not None else None
+        ttr_records = (
+            sum(
+                record.n_rows
+                for record in steps
+                if first_drift <= record.step <= recovery_step
+            )
+            if recovery_step is not None
+            else None
+        )
+
         return ReplayResult(
             scenario=scenario,
             dataset=dataset,
@@ -287,4 +395,10 @@ class ReplayHarness:
             records_per_second=records_per_second,
             channel_first_alarm=channel_first_alarm,
             steps=steps,
+            recovered=recovery_step is not None,
+            recovery_step=recovery_step,
+            time_to_recovery_steps=ttr_steps,
+            time_to_recovery_records=ttr_records,
+            fairness_regret=round(regret, 10) if regret is not None else None,
+            mitigation=dict(mitigation) if mitigation else {},
         )

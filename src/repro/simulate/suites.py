@@ -18,8 +18,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datasets.table import Dataset
 from repro.density.kde import KernelDensity
-from repro.exceptions import SimulationError
-from repro.serving.monitor import FairnessMonitor
+from repro.exceptions import SimulationError, ValidationError
+from repro.serving.mitigation import (
+    MitigationController,
+    ThresholdCalibration,
+    calibrate_thresholds,
+)
+from repro.serving.monitor import FairnessMonitor, MonitorBaselines, MonitorThresholds
 from repro.serving.service import PredictionService
 from repro.simulate.base import Scenario
 from repro.simulate.registry import make_scenario
@@ -125,10 +130,25 @@ class SuiteRunner:
         held-out batch look drifted — so clean held-out data is the honest
         reference level; conformance and group baselines are unbiased on the
         training split and stay there.
-    window_size, group_tolerance, min_samples:
-        Monitor configuration shared by every scenario.
+    window_size:
+        Monitor window shared by every scenario.
+    thresholds:
+        Optional :class:`~repro.serving.MonitorThresholds` shared by every
+        scenario's monitor (derive one with :meth:`calibrate`).
+    group_tolerance, min_samples:
+        Deprecated flat spelling of the corresponding ``thresholds`` fields;
+        accepted for compatibility but mutually exclusive with
+        ``thresholds``.
     service_batch_size, max_workers:
         Micro-batching of the underlying service.
+    intervention, learner, intervention_params, fit_n_jobs:
+        The refit recipe handed to :class:`~repro.serving.MitigationController`
+        when a replay runs with ``mitigate=True`` (defaults mirror the
+        runner's typical fit: ConFair over logistic regression).
+    mitigation_params:
+        Extra keyword arguments forwarded verbatim to
+        :class:`~repro.serving.MitigationController` (``min_refit_rows``,
+        ``min_shadow_steps``, ``di_tolerance``, …).
     """
 
     def __init__(
@@ -140,52 +160,120 @@ class SuiteRunner:
         density_estimator: Optional[KernelDensity] = None,
         calibration: Optional[Dataset] = None,
         window_size: int = 2000,
-        group_tolerance: float = 0.15,
-        min_samples: int = 50,
+        thresholds: Optional[MonitorThresholds] = None,
+        group_tolerance: Optional[float] = None,
+        min_samples: Optional[int] = None,
         service_batch_size: int = 512,
         max_workers: Optional[int] = None,
+        intervention: str = "confair",
+        learner: str = "lr",
+        intervention_params: Optional[Dict[str, object]] = None,
+        fit_n_jobs: Optional[int] = None,
+        mitigation_params: Optional[Dict[str, object]] = None,
     ) -> None:
         self.model = model
         self.train = train
         self.profile = profile
         self.density_estimator = density_estimator
         self.window_size = int(window_size)
-        self.group_tolerance = float(group_tolerance)
-        self.min_samples = int(min_samples)
+        if thresholds is None:
+            thresholds = MonitorThresholds(
+                group_tolerance=0.15 if group_tolerance is None else float(group_tolerance),
+                min_samples=50 if min_samples is None else int(min_samples),
+            )
+        elif group_tolerance is not None or min_samples is not None:
+            raise ValidationError(
+                "pass monitor configuration either as thresholds= or as the "
+                "deprecated flat group_tolerance/min_samples, not both"
+            )
+        self.thresholds = thresholds
         self.service_batch_size = int(service_batch_size)
         self.max_workers = max_workers
+        self.intervention = intervention
+        self.learner = learner
+        self.intervention_params = dict(intervention_params or {})
+        self.fit_n_jobs = fit_n_jobs
+        self.mitigation_params = dict(mitigation_params or {})
 
         probe = self._fresh_monitor()
-        self._violation_baseline = (
-            probe.set_drift_baseline(train.X) if profile is not None else None
-        )
-        density_reference = calibration if calibration is not None else train
-        self._density_baseline = (
-            probe.set_density_baseline(density_reference.X)
-            if density_estimator is not None
-            else None
-        )
-        self._group_baseline = float(train.minority_fraction)
+        if profile is not None:
+            probe.set_baselines(violation=train.X)
+        if density_estimator is not None:
+            density_reference = calibration if calibration is not None else train
+            probe.set_baselines(log_density=density_reference.X)
+        probe.set_baselines(group_fraction=float(train.minority_fraction))
+        self._baselines = probe.baselines
+
+    @property
+    def baselines(self) -> MonitorBaselines:
+        """The shared reference points every scenario's monitor starts from."""
+        return self._baselines
+
+    # Deprecated flat mirrors (pre-MonitorThresholds spelling).
+    @property
+    def group_tolerance(self) -> float:
+        return self.thresholds.group_tolerance
+
+    @property
+    def min_samples(self) -> int:
+        return self.thresholds.min_samples
 
     def _fresh_monitor(self) -> FairnessMonitor:
         return FairnessMonitor(
             window_size=self.window_size,
             profile=self.profile,
             density_estimator=self.density_estimator,
-            min_samples=self.min_samples,
-            group_tolerance=self.group_tolerance,
+            thresholds=self.thresholds,
         )
 
-    def _baseline_monitor(self) -> FairnessMonitor:
+    def make_monitor(self) -> FairnessMonitor:
+        """A fresh monitor with the shared thresholds and baselines installed."""
         monitor = self._fresh_monitor()
-        if self._violation_baseline is not None:
-            monitor.set_drift_baseline(self._violation_baseline)
-        if self._density_baseline is not None:
-            monitor.set_density_baseline(self._density_baseline)
-        monitor.set_group_baseline(self._group_baseline)
+        monitor.set_baselines(self._baselines)
         return monitor
 
-    def make_service(self, *, shards: Optional[int] = None):
+    # Kept as an alias: fleet tooling and older scripts call the private name.
+    _baseline_monitor = make_monitor
+
+    def calibrate(
+        self,
+        deploy: Dataset,
+        *,
+        n_steps: int = 40,
+        batch_size: int = 128,
+        seed: int = 0,
+        target_false_alarm_rate: float = 0.05,
+        apply: bool = False,
+    ) -> ThresholdCalibration:
+        """Derive data-driven thresholds from a stationary control replay.
+
+        Streams ``deploy`` through a drift-free :class:`TrafficStream` and
+        hands the batches to
+        :func:`repro.serving.calibrate_thresholds`, which sets each alarm
+        cutoff just above what clean traffic reaches at the requested
+        false-alarm budget.  With ``apply=True`` the runner adopts the
+        calibrated :class:`~repro.serving.MonitorThresholds` for every
+        subsequent monitor it builds.
+        """
+        stream = TrafficStream(
+            deploy,
+            make_scenario("none"),
+            n_steps=n_steps,
+            batch_size=batch_size,
+            random_state=seed,
+        )
+        calibration = calibrate_thresholds(
+            self.make_monitor(),
+            list(stream),
+            target_false_alarm_rate=target_false_alarm_rate,
+        )
+        if apply:
+            self.thresholds = calibration.thresholds
+        return calibration
+
+    def make_service(
+        self, *, shards: Optional[int] = None, mitigate: bool = False, seed: int = 7
+    ):
         """A fresh monitored service with the shared baselines installed.
 
         With ``shards=N`` the returned service is a
@@ -194,13 +282,40 @@ class SuiteRunner:
         monitor.  Round-robin dispatch plus the fleet's sequence stamping
         make its merged monitor — and therefore the replay verdict —
         bit-identical to the single-service run.
+
+        With ``mitigate=True`` the single-shard service is wrapped in a
+        :class:`~repro.serving.MitigationController` (refit recipe and knobs
+        from the runner's constructor; ``seed`` fixes the refit split), so
+        alarms trigger the refit → shadow → promote loop instead of only
+        being scored.
         """
+        if mitigate:
+            if shards is not None and int(shards) > 1:
+                raise SimulationError(
+                    "mitigate=True drives a single-service controller; "
+                    "sharded mitigation is not supported"
+                )
+            return MitigationController(
+                PredictionService(
+                    self.model,
+                    batch_size=self.service_batch_size,
+                    max_workers=self.max_workers,
+                    monitor=self.make_monitor(),
+                ),
+                intervention=self.intervention,
+                learner=self.learner,
+                intervention_params=self.intervention_params,
+                fit_n_jobs=self.fit_n_jobs,
+                seed=seed,
+                n_numeric_features=self.train.n_numeric_features,
+                **self.mitigation_params,
+            )
         if shards is None or int(shards) <= 1:
             return PredictionService(
                 self.model,
                 batch_size=self.service_batch_size,
                 max_workers=self.max_workers,
-                monitor=self._baseline_monitor(),
+                monitor=self.make_monitor(),
             )
         # Imported lazily: repro.fleet's replay helpers import this module.
         from repro.fleet.service import FleetService
@@ -235,13 +350,23 @@ class SuiteRunner:
         batch_size: int = 128,
         seed: int = 0,
         shards: Optional[int] = None,
+        mitigate: bool = False,
+        recovery_tolerance: float = 0.05,
     ) -> ReplayResult:
-        """Replay one scenario over ``deploy`` traffic with a fresh monitor."""
+        """Replay one scenario over ``deploy`` traffic with a fresh monitor.
+
+        ``mitigate=True`` wraps the service in a
+        :class:`~repro.serving.MitigationController` so the replay scores the
+        closed loop — time-to-recovery and fairness-regret land on the
+        :class:`~repro.simulate.replay.ReplayResult` alongside detection.
+        """
         stream = TrafficStream(
             deploy, scenario, n_steps=n_steps, batch_size=batch_size, random_state=seed
         )
-        with self.make_service(shards=shards) as service:
-            return ReplayHarness(service).replay(stream, label=label)
+        with self.make_service(shards=shards, mitigate=mitigate, seed=seed) as service:
+            return ReplayHarness(service).replay(
+                stream, label=label, recovery_tolerance=recovery_tolerance
+            )
 
     def run(
         self,
@@ -252,6 +377,8 @@ class SuiteRunner:
         batch_size: int = 128,
         seed: int = 0,
         shards: Optional[int] = None,
+        mitigate: bool = False,
+        recovery_tolerance: float = 0.05,
     ) -> List[Tuple[str, ReplayResult]]:
         """Replay every scenario of a named suite; returns ``(label, result)``."""
         return [
@@ -265,6 +392,8 @@ class SuiteRunner:
                     batch_size=batch_size,
                     seed=seed,
                     shards=shards,
+                    mitigate=mitigate,
+                    recovery_tolerance=recovery_tolerance,
                 ),
             )
             for label, scenario in make_suite(suite)

@@ -68,6 +68,10 @@ class TestRunMethod:
     def test_method_names_exposed(self):
         assert "confair" in METHOD_NAMES and "diffair0" in METHOD_NAMES
 
+    def test_run_method_is_deprecated(self, tiny_split):
+        with pytest.warns(DeprecationWarning, match="FairnessPipeline"):
+            run_method("none", tiny_split, learner="lr", seed=0)
+
 
 class TestEvaluateAndAggregate:
     def test_evaluate_cell_fields(self):
@@ -75,6 +79,10 @@ class TestEvaluateAndAggregate:
         assert cell.dataset == "lsac"
         assert cell.runtime_seconds > 0
         assert 0.0 <= cell.report.balanced_accuracy <= 1.0
+
+    def test_evaluate_cell_is_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="FairnessPipeline"):
+            evaluate_cell("lsac", "none", learner="lr", seed=1, size_factor=0.03)
 
     def test_aggregate_cells_averages_over_seeds(self):
         aggregated = aggregate_cells(

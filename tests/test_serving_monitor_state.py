@@ -20,6 +20,7 @@ from repro.learners.base import clone
 from repro.serving import (
     FairnessMonitor,
     GroupShiftStatus,
+    MonitorThresholds,
     load_artifact,
     save_artifact,
 )
@@ -38,11 +39,13 @@ def make_monitor(window_size=300) -> FairnessMonitor:
         window_size=window_size,
         profile=profile_partitions(train),
         density_estimator=KernelDensity(bandwidth="scott").fit(train.numeric_X),
-        min_samples=40,
+        thresholds=MonitorThresholds(min_samples=40),
     )
-    monitor.set_drift_baseline(train.X)
-    monitor.set_density_baseline(SPLIT.validation.X)
-    monitor.set_group_baseline(train.group)
+    monitor.set_baselines(
+        violation=train.X,
+        log_density=SPLIT.validation.X,
+        group_fraction=train.group,
+    )
     return monitor
 
 
