@@ -11,9 +11,17 @@ noise, and enabled mode must stay within the same 30% gate budget.
 
 Shape assertions: metric counts match the traffic exactly in enabled mode,
 and disabled mode records nothing.
+
+The flight recorder rides the same gate: with an enabled
+:class:`~repro.telemetry.EventLog` attached, every sequenced request adds
+one ``request`` event (a dict append under the service lock), and the
+events-enabled benchmark must stay inside the same 30% budget as the
+metrics-only one.
 """
 
 from __future__ import annotations
+
+import itertools
 
 import numpy as np
 import pytest
@@ -21,7 +29,7 @@ import pytest
 from repro import FairnessPipeline
 from repro.datasets import load_dataset, split_dataset
 from repro.serving import PredictionService, save_artifact
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import EventLog, MetricsRegistry
 
 N_ROWS = 10_000
 BATCH_SIZE = 1024
@@ -78,6 +86,32 @@ def test_telemetry_enabled_overhead_10k_batch(benchmark, serving_setup):
     assert sum(latency["counts"]) == n_requests
     batches = state["histograms"]["serving.batch_rows"]
     assert sum(batches["counts"]) == n_requests * (N_ROWS // BATCH_SIZE + 1)
+    benchmark.extra_info["records_per_second"] = round(
+        N_ROWS / benchmark.stats.stats.mean, 1
+    )
+
+
+def test_telemetry_and_events_enabled_overhead_10k_batch(benchmark, serving_setup):
+    artifact, X = serving_setup
+    registry = MetricsRegistry(enabled=True)
+    events = EventLog(enabled=True)
+    service = PredictionService.from_artifact(
+        artifact, batch_size=BATCH_SIZE, telemetry=registry, events=events
+    )
+    # Request events are keyed by the served sequence; without a monitor the
+    # caller supplies it, exactly like the fleet front-end does.
+    sequences = itertools.count()
+
+    predictions = benchmark(lambda: service.predict(X, sequence=next(sequences)))
+
+    assert predictions.shape == (N_ROWS,)
+    n_requests = registry.state_dict()["counters"]["serving.requests_total"]
+    assert n_requests >= 1
+    # One request event per served request, stamped and row-counted exactly.
+    assert events.n_emitted == n_requests
+    records = events.records(kind="request")
+    assert len(records) == n_requests
+    assert all(record["attributes"]["rows"] == N_ROWS for record in records)
     benchmark.extra_info["records_per_second"] = round(
         N_ROWS / benchmark.stats.stats.mean, 1
     )

@@ -144,6 +144,19 @@ near-zero-overhead while off; every serving/simulation/fleet CLI takes
 ``--metrics-out PATH`` to enable it and write a JSON dump, and the
 ``repro-telemetry`` CLI summarizes and diffs those dumps.
 
+Alongside the metrics sits the **flight recorder**
+(:class:`~repro.telemetry.EventLog`): a bounded, sequence-stamped
+structured event log — served requests, alarm edges, full
+:meth:`~repro.serving.FairnessMonitor.alarm_report` channel attributions,
+mitigation transitions, worker lifecycle — making the same exact-merge
+promise (shard-local logs fold bit-identically into the union-stream log,
+keyed by the monitor's sequence stamps).  The fleet front-end stamps each
+request with a deterministic trace id that shard-side request spans carry,
+so ``repro-telemetry trace --trace-id ...`` stitches the frontend and
+per-shard views of one request back together, joined to its event-log
+records by sequence.  Every serving/simulation/fleet CLI takes
+``--events-out PATH``; ``repro-telemetry tail`` reads the dumps back.
+
 Algorithm 3's density estimation runs on a batch-first engine
 (:mod:`repro.density`): ``KernelDensity(algorithm=...)`` dispatches
 ``score_samples`` onto a brute-force, flat batch KD-tree, or grid-hash
@@ -207,7 +220,7 @@ from repro.telemetry import MetricsRegistry
 # Observability quickstart's `from repro import telemetry`.
 from repro import telemetry
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 # The serving subsystem consumes everything above (interventions, learners,
 # datasets), the simulation subsystem consumes serving, and the fleet

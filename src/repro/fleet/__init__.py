@@ -51,6 +51,21 @@ full ``--metrics-out`` payload (front-end + per-shard + merged state), and
 the raised :class:`~repro.exceptions.FleetError` carries the shard id, the
 process exit code, and the last in-flight/served sequence range.
 
+The flight recorder spans the fleet the same way.  Shard workers carry
+private :class:`~repro.telemetry.EventLog`\\ s whose ``request`` events are
+keyed by the stream-wide sequence stamps, so
+:meth:`FleetService.events_report` (the ``--events-out`` payload) folds
+frontend + shard logs into the event stream a single service would have
+recorded — bit-identically, proven by the flight-recorder test next to
+:func:`compare_sharded_replay`.  The front-end stamps each dispatched
+micro-batch with a deterministic trace id
+(:meth:`FleetService.trace_id_for`), shard-side ``serving.request`` spans
+carry it together with the shard id and served sequence, and
+:meth:`FleetService.trace` (or ``repro-telemetry trace --trace-id ...``
+over the dumps) stitches the frontend and shard views of one request back
+together.  Worker process start/close lands in the frontend log as
+``worker_lifecycle`` events with cold-start timings.
+
 Async callers use ``await fleet.predict_async(...)`` directly.  Keep the
 default ``dispatch="round_robin"`` and ``scatter_rows=None`` whenever the
 merged monitor must reproduce a single-service run exactly; switch to

@@ -37,7 +37,12 @@ from repro.serving.artifacts import save_artifact
 from repro.serving.cli import emit_json, parse_params
 from repro.simulate.cli import _make_runner, _prepare
 from repro.simulate.registry import available_scenarios, make_scenario
-from repro.telemetry import enable as enable_telemetry, write_metrics
+from repro.telemetry import (
+    enable as enable_telemetry,
+    get_event_log,
+    write_events,
+    write_metrics,
+)
 
 
 # ---------------------------------------------------------------- commands
@@ -47,6 +52,11 @@ def cmd_serve(args) -> int:
     # forward it to the spawned worker over the pipe handshake.
     if args.metrics_out:
         enable_telemetry()
+    if args.events_out:
+        # Same ordering rule as telemetry: the flight recorder must be on
+        # before workers exist so inline shards mint enabled private logs and
+        # process shards inherit the flag over the pipe handshake.
+        get_event_log().enable()
     artifact, loaded, split = _prepare(args)
     runner = _make_runner(args, loaded, split)
     if args.backend == "inline":
@@ -84,6 +94,10 @@ def cmd_serve(args) -> int:
             report["metrics_out"] = write_metrics(
                 args.metrics_out, fleet.telemetry_report()
             )
+        if args.events_out:
+            report["events_out"] = write_events(
+                args.events_out, fleet.events_report()
+            )
     report["artifact"] = artifact
     report["backend"] = args.backend
     if args.out_report:
@@ -95,6 +109,8 @@ def cmd_serve(args) -> int:
 def cmd_replay(args) -> int:
     if args.metrics_out:
         enable_telemetry()
+    if args.events_out:
+        get_event_log().enable()
     artifact, loaded, split = _prepare(args)
     runner = _make_runner(args, loaded, split)
     scenario = make_scenario(args.scenario, **parse_params(args.scenario_param))
@@ -118,6 +134,11 @@ def cmd_replay(args) -> int:
         # Both replays have finished and closed their fleets; the default
         # registry holds the replay spans and single-service metrics.
         payload["metrics_out"] = write_metrics(args.metrics_out)
+    if args.events_out:
+        # The default log carries the alarm edges, channel attributions, and
+        # the single-service run's request events; shard-private logs died
+        # with the fleet.
+        payload["events_out"] = write_events(args.events_out)
     emit_json(payload)
     if not comparison.matches:
         print(
@@ -251,6 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable telemetry and write the fleet dump (frontend + per-shard "
         "+ exactly-merged state) to PATH",
     )
+    serve.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="enable the flight recorder and write the fleet event-log dump "
+        "(frontend + per-shard + exactly-merged state) to PATH",
+    )
     serve.set_defaults(func=cmd_serve)
 
     replay = sub.add_parser(
@@ -274,6 +302,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="enable telemetry and write the default-registry dump (replay "
         "spans + single-service metrics) to PATH after the comparison",
+    )
+    replay.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="enable the flight recorder and write the default event-log dump "
+        "(alarm edges + channel attributions) to PATH after the comparison",
     )
     replay.set_defaults(func=cmd_replay)
 

@@ -32,7 +32,14 @@ import numpy as np
 from repro.exceptions import FleetError, ValidationError
 from repro.serving.monitor import FairnessMonitor
 from repro.serving.service import ServiceStats
-from repro.telemetry import DEFAULT_SIZE_BUCKETS, MetricsRegistry, get_registry
+from repro.telemetry import (
+    DEFAULT_SIZE_BUCKETS,
+    EVENT_LOG_SCHEMA_VERSION,
+    EventLog,
+    MetricsRegistry,
+    get_event_log,
+    get_registry,
+)
 
 DISPATCH_POLICIES = ("round_robin", "least_loaded")
 
@@ -66,6 +73,12 @@ class FleetService:
         process-wide registry.  Shard-side serving metrics live in the
         workers' private registries and are merged — exactly, like the
         monitors — into :meth:`fleet_report` / :meth:`telemetry_report`.
+    events:
+        Optional :class:`~repro.telemetry.EventLog` for the *front-end's*
+        flight recorder (alarm edges and mitigation transitions are emitted
+        where the merged monitor is observed); defaults to the process-wide
+        log.  Shard-side request events live in the workers' private logs
+        and fold into the union-stream log in :meth:`events_report`.
     """
 
     def __init__(
@@ -76,6 +89,7 @@ class FleetService:
         scatter_rows: Optional[int] = None,
         report_every: Optional[int] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         workers = list(workers)
         if not workers:
@@ -94,6 +108,7 @@ class FleetService:
         self.report_every = report_every
         self.report_history: List[Dict[str, Any]] = []
         self.telemetry = telemetry if telemetry is not None else get_registry()
+        self.events = events if events is not None else get_event_log()
         self._m_requests = self.telemetry.counter("fleet.requests_total")
         self._m_rows = self.telemetry.histogram(
             "fleet.request_rows", buckets=DEFAULT_SIZE_BUCKETS, resolution=1.0
@@ -121,9 +136,21 @@ class FleetService:
             return index
         return min(range(len(self.workers)), key=lambda i: (self._pending[i], i))
 
-    def _dispatch_one(self, index: int, X, group, y_true, sequence) -> np.ndarray:
+    @staticmethod
+    def trace_id_for(sequence: int) -> str:
+        """The deterministic trace id of the micro-batch stamped ``sequence``.
+
+        Derived from the sequence stamp (not a random uuid, not a clock) so
+        the same replayed stream produces the same trace ids run over run —
+        a forensics session can name a trace before re-running it.
+        """
+        return f"fleet-{int(sequence):06d}"
+
+    def _dispatch_one(self, index: int, X, group, y_true, sequence, trace_id) -> np.ndarray:
         try:
-            return self.workers[index].predict(X, group, y_true=y_true, sequence=sequence)
+            return self.workers[index].predict(
+                X, group, y_true=y_true, sequence=sequence, trace_id=trace_id
+            )
         finally:
             with self._lock:
                 self._pending[index] -= 1
@@ -177,6 +204,7 @@ class FleetService:
                 group[part] if group is not None else None,
                 y_true[part] if y_true is not None else None,
                 sequence,
+                self.trace_id_for(sequence),
             )
             for index, part, sequence in assignments
         ]
@@ -336,19 +364,22 @@ class FleetService:
         snapshots = self.snapshots()
         shards = []
         states = []
-        for snapshot in snapshots:
+        for worker, snapshot in zip(self.workers, snapshots):
             if snapshot.telemetry_state is None:
                 continue
             states.append(snapshot.telemetry_state)
-            shards.append(
-                {
-                    "shard_id": snapshot.shard_id,
-                    "cold_start_seconds": snapshot.cold_start_seconds,
-                    "mmap_cache": snapshot.mmap_cache,
-                    "export": MetricsRegistry.export_state(snapshot.telemetry_state),
-                    "state": snapshot.telemetry_state,
-                }
-            )
+            entry = {
+                "shard_id": snapshot.shard_id,
+                "cold_start_seconds": snapshot.cold_start_seconds,
+                "mmap_cache": snapshot.mmap_cache,
+                "export": MetricsRegistry.export_state(snapshot.telemetry_state),
+                "state": snapshot.telemetry_state,
+            }
+            if hasattr(worker, "trace"):
+                # Worker-side request spans (trace_id/shard_id/sequence) so a
+                # dump alone can stitch a fleet trace without live workers.
+                entry["spans"] = worker.trace()
+            shards.append(entry)
         payload: Dict[str, Any] = {
             "telemetry_version": 1,
             "frontend": {
@@ -364,6 +395,58 @@ class FleetService:
                 "state": merged_state,
             }
         return payload
+
+    def events_report(self) -> Dict[str, Any]:
+        """The fleet's ``--events-out`` payload: front-end + shards + merge.
+
+        ``frontend`` is the front-end log (alarm edges, channel snapshots,
+        mitigation transitions — emitted where the merged monitor is
+        observed), each ``shards`` entry is that shard's private log
+        (``request`` events, worker lifecycle), and ``merged`` folds them
+        all by sequence stamp into the union-stream log — bit-identical to
+        the log one :class:`~repro.serving.PredictionService` would have
+        recorded serving the same stream.
+        """
+        shards = []
+        states = []
+        for snapshot in self.snapshots():
+            if snapshot.events_state is None:
+                continue
+            states.append(snapshot.events_state)
+            shards.append({"shard_id": snapshot.shard_id, "state": snapshot.events_state})
+        payload: Dict[str, Any] = {
+            "events_version": EVENT_LOG_SCHEMA_VERSION,
+            "frontend": {"state": self.events.state_dict()},
+            "shards": shards,
+        }
+        payload["merged"] = {
+            "state": EventLog.merge_state_dicts([self.events.state_dict()] + states)
+        }
+        return payload
+
+    def trace(self, *, trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """Stitched frontend + shard span view, optionally for one trace id.
+
+        The front-end contributes its dispatch-path spans; every worker that
+        can report spans (inline: its private registry; process: over the
+        pipe) contributes the ``serving.request`` spans it served, each
+        carrying ``trace_id``/``shard_id``/``sequence`` attributes.
+        """
+        shards = []
+        for worker in self.workers:
+            if not hasattr(worker, "trace"):
+                continue
+            shards.append(
+                {
+                    "shard_id": getattr(worker, "shard_id", len(shards)),
+                    "spans": worker.trace(trace_id=trace_id),
+                }
+            )
+        return {
+            "trace_id": trace_id,
+            "frontend": self.telemetry.trace(trace_id=trace_id),
+            "shards": shards,
+        }
 
     # ------------------------------------------------------------- lifecycle
     @property

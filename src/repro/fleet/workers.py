@@ -33,7 +33,14 @@ from repro.exceptions import FleetError
 from repro.serving.artifacts import load_artifact, mmap_cache_stats
 from repro.serving.monitor import FairnessMonitor
 from repro.serving.service import PredictionService, ServiceStats
-from repro.telemetry import MetricsRegistry, get_registry, telemetry_enabled
+from repro.telemetry import (
+    EventLog,
+    MetricsRegistry,
+    events_enabled,
+    get_event_log,
+    get_registry,
+    telemetry_enabled,
+)
 
 
 @dataclass(frozen=True)
@@ -46,7 +53,9 @@ class ShardSnapshot:
     shard did not load via mmap).  ``telemetry_state`` is the shard
     registry's mergeable ``state_dict`` (``None`` while telemetry is
     disabled, or when the shard records into the process-wide registry —
-    merging that per shard would double-count).
+    merging that per shard would double-count).  ``events_state`` is the
+    shard event log's mergeable ``state_dict`` under the same discipline:
+    ``None`` unless the shard records into a private (or per-process) log.
     """
 
     shard_id: int
@@ -55,6 +64,7 @@ class ShardSnapshot:
     cold_start_seconds: float
     mmap_cache: Optional[str] = None
     telemetry_state: Optional[Dict[str, Any]] = None
+    events_state: Optional[Dict[str, Any]] = None
 
 
 class InlineShardWorker:
@@ -87,25 +97,31 @@ class InlineShardWorker:
         batch_size: int = 2048,
         max_workers: Optional[int] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
     ) -> "InlineShardWorker":
         """Build a shard from a saved artifact (memory-mapped by default).
 
         The shard's service records into a **private** telemetry registry
-        (inheriting the process-wide enabled flag) unless one is passed
-        explicitly, so per-shard histograms stay mergeable without double
-        counting against the process registry.
+        and a **private** event log (each inheriting the process-wide
+        enabled flag) unless passed explicitly, so per-shard histograms and
+        event logs stay mergeable without double counting against the
+        process-wide instances.
         """
         start = time.perf_counter()
         before = mmap_cache_stats() if mmap_mode is not None else None
         loaded = load_artifact(path, mmap_mode=mmap_mode)
         if telemetry is None:
             telemetry = MetricsRegistry(enabled=telemetry_enabled())
+        if events is None:
+            events = EventLog(enabled=events_enabled())
         service = PredictionService(
             loaded,
             batch_size=batch_size,
             max_workers=max_workers,
             monitor=monitor,
             telemetry=telemetry,
+            events=events,
+            shard_id=shard_id,
         )
         worker = cls(service, shard_id=shard_id)
         worker.cold_start_seconds = time.perf_counter() - start
@@ -121,24 +137,35 @@ class InlineShardWorker:
     def requires_group(self) -> bool:
         return self.service.requires_group
 
-    def predict(self, X, group=None, *, y_true=None, sequence=None) -> np.ndarray:
-        return self.service.predict(X, group, y_true=y_true, sequence=sequence)
+    def predict(self, X, group=None, *, y_true=None, sequence=None, trace_id=None) -> np.ndarray:
+        return self.service.predict(
+            X, group, y_true=y_true, sequence=sequence, trace_id=trace_id
+        )
 
     def monitor_template(self) -> Optional[FairnessMonitor]:
         monitor = self.service.monitor
         return monitor.config_clone() if monitor is not None else None
 
+    def trace(self, *, trace_id: Optional[str] = None):
+        """This shard's finished spans (optionally one trace id's worth)."""
+        return self.service.telemetry.trace(trace_id=trace_id)
+
     def snapshot(self) -> ShardSnapshot:
         stats = self.service.stats
         monitor = self.service.monitor
         registry = self.service.telemetry
+        events = self.service.events
         # Only a private registry is exported per shard: N inline shards
         # sharing the process-wide registry would each report the same
-        # union state and the fleet merge would count it N times.
+        # union state and the fleet merge would count it N times.  Same
+        # rule for the event log.
         telemetry_state = (
             registry.state_dict()
             if registry.enabled and registry is not get_registry()
             else None
+        )
+        events_state = (
+            events.state_dict() if events.enabled and events is not get_event_log() else None
         )
         return ShardSnapshot(
             shard_id=self.shard_id,
@@ -147,6 +174,7 @@ class InlineShardWorker:
             cold_start_seconds=self.cold_start_seconds,
             mmap_cache=self.mmap_cache,
             telemetry_state=telemetry_state,
+            events_state=events_state,
         )
 
     def close(self) -> None:
@@ -154,16 +182,27 @@ class InlineShardWorker:
 
 
 def _shard_worker_main(
-    conn, artifact_path, monitor_path, batch_size, mmap_mode, telemetry_on=False
+    conn,
+    artifact_path,
+    monitor_path,
+    batch_size,
+    mmap_mode,
+    telemetry_on=False,
+    shard_id=0,
+    events_on=False,
 ) -> None:
     """Worker-process entry point: load, serve the pipe, snapshot on demand."""
     try:
-        # The spawned process's default registry is private to this shard by
-        # construction, so the in-worker service records straight into it
-        # and `snapshot` ships its mergeable state back over the pipe.
+        # The spawned process's default registry and event log are private
+        # to this shard by construction, so the in-worker service records
+        # straight into them and `snapshot` ships their mergeable states
+        # back over the pipe.
         registry = get_registry()
         if telemetry_on:
             registry.enable()
+        events = get_event_log()
+        if events_on:
+            events.enable()
         start = time.perf_counter()
         extractions_before = mmap_cache_stats()["extractions"] if mmap_mode is not None else None
         loaded = load_artifact(artifact_path, mmap_mode=mmap_mode)
@@ -172,7 +211,9 @@ def _shard_worker_main(
             extracted = mmap_cache_stats()["extractions"] > extractions_before
             mmap_cache = "miss" if extracted else "hit"
         monitor = load_artifact(monitor_path) if monitor_path is not None else None
-        service = PredictionService(loaded, batch_size=batch_size, monitor=monitor)
+        service = PredictionService(
+            loaded, batch_size=batch_size, monitor=monitor, shard_id=int(shard_id)
+        )
         cold_start = time.perf_counter() - start
     except BaseException as error:  # noqa: BLE001 - report, then die
         conn.send(("error", f"{type(error).__name__}: {error}"))
@@ -196,8 +237,10 @@ def _shard_worker_main(
         kind = message[0]
         try:
             if kind == "predict":
-                _, X, group, y_true, sequence = message
-                predictions = service.predict(X, group, y_true=y_true, sequence=sequence)
+                _, X, group, y_true, sequence, trace_id = message
+                predictions = service.predict(
+                    X, group, y_true=y_true, sequence=sequence, trace_id=trace_id
+                )
                 conn.send(("ok", predictions))
             elif kind == "snapshot":
                 stats = service.stats
@@ -213,9 +256,13 @@ def _shard_worker_main(
                             "telemetry_state": (
                                 registry.state_dict() if registry.enabled else None
                             ),
+                            "events_state": events.state_dict() if events.enabled else None,
                         },
                     )
                 )
+            elif kind == "trace":
+                _, trace_id = message
+                conn.send(("ok", registry.trace(trace_id=trace_id)))
             elif kind == "close":
                 conn.send(("ok", None))
                 break
@@ -254,6 +301,14 @@ class ProcessShardWorker:
         registry is enabled and its mergeable state rides every snapshot).
         ``None`` (default) inherits the parent's current enabled flag at
         construction time.
+    events:
+        Whether the worker process records flight-recorder events (its
+        process-default :class:`~repro.telemetry.EventLog` is enabled and
+        its mergeable state rides every snapshot).  ``None`` (default)
+        inherits the parent's current enabled flag at construction time.
+        The *parent* additionally emits ``worker_lifecycle`` events into its
+        own log when its log is enabled (``phase="start"`` at handshake,
+        ``phase="close"`` stamped with the highest served sequence).
     """
 
     def __init__(
@@ -266,6 +321,7 @@ class ProcessShardWorker:
         mmap_mode: Optional[str] = "r",
         start_timeout: float = 120.0,
         telemetry: Optional[bool] = None,
+        events: Optional[bool] = None,
     ) -> None:
         self.shard_id = int(shard_id)
         self._monitor_path = str(monitor_path) if monitor_path is not None else None
@@ -281,6 +337,7 @@ class ProcessShardWorker:
         self._served_lo: Optional[int] = None
         self._served_hi: Optional[int] = None
         telemetry_on = telemetry_enabled() if telemetry is None else bool(telemetry)
+        events_on = events_enabled() if events is None else bool(events)
         context = multiprocessing.get_context("spawn")
         self._conn, child_conn = context.Pipe()
         self._process = context.Process(
@@ -292,6 +349,8 @@ class ProcessShardWorker:
                 int(batch_size),
                 mmap_mode,
                 telemetry_on,
+                self.shard_id,
+                events_on,
             ),
             daemon=True,
         )
@@ -304,8 +363,27 @@ class ProcessShardWorker:
         self.cold_start_seconds = float(payload["cold_start_seconds"])
         self.requires_group = bool(payload["requires_group"])
         self.mmap_cache = payload.get("mmap_cache")
+        self._emit_lifecycle("start", sequence=-1)
 
     # ------------------------------------------------------------- plumbing
+    def _emit_lifecycle(self, phase: str, *, sequence: int) -> None:
+        """Record a worker lifecycle edge in the *parent's* event log.
+
+        Parent-side only (never the worker's private log), so inline-vs-
+        process replay comparisons stay lifecycle-free on the shard side;
+        ``start`` events use the sentinel sequence ``-1`` (nothing served
+        yet), ``close`` events the highest sequence the worker served.
+        """
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                "worker_lifecycle",
+                sequence=int(sequence),
+                shard_id=self.shard_id,
+                phase=phase,
+                cold_start_seconds=round(self.cold_start_seconds, 4),
+            )
+
     def _death_details(self) -> str:
         """Crash forensics for a dead/unresponsive worker's FleetError.
 
@@ -377,10 +455,15 @@ class ProcessShardWorker:
             self._process.terminate()
 
     # ------------------------------------------------------------- protocol
-    def predict(self, X, group=None, *, y_true=None, sequence=None) -> np.ndarray:
+    def predict(self, X, group=None, *, y_true=None, sequence=None, trace_id=None) -> np.ndarray:
         return self._request(
-            ("predict", np.asarray(X), group, y_true, sequence), sequence=sequence
+            ("predict", np.asarray(X), group, y_true, sequence, trace_id),
+            sequence=sequence,
         )
+
+    def trace(self, *, trace_id: Optional[str] = None):
+        """The worker process's finished spans, fetched over the pipe."""
+        return self._request(("trace", trace_id))
 
     def monitor_template(self) -> Optional[FairnessMonitor]:
         if self._monitor_path is None:
@@ -405,6 +488,7 @@ class ProcessShardWorker:
             cold_start_seconds=float(payload["cold_start_seconds"]),
             mmap_cache=payload.get("mmap_cache"),
             telemetry_state=payload.get("telemetry_state"),
+            events_state=payload.get("events_state"),
         )
 
     def close(self) -> None:
@@ -412,6 +496,7 @@ class ProcessShardWorker:
             if self._closed:
                 return
             self._closed = True
+            served_hi = self._served_hi
             try:
                 self._conn.send(("close",))
                 self._conn.poll(5.0) and self._conn.recv()
@@ -422,3 +507,4 @@ class ProcessShardWorker:
             self._process.terminate()
             self._process.join(timeout=5.0)
         self._conn.close()
+        self._emit_lifecycle("close", sequence=-1 if served_hi is None else served_hi)

@@ -74,6 +74,19 @@ separable (fleet shards do this so their histograms merge exactly); by
 default the process-wide registry is used.  Recording costs one attribute
 read while telemetry is off.
 
+The flight recorder rides alongside: when the service's
+:class:`~repro.telemetry.EventLog` is enabled (``--events-out`` on any
+CLI), every ``predict`` emits a ``request`` event stamped with the
+monitor-assigned sequence, :class:`MitigationController` logs every
+transition together with a full
+:meth:`FairnessMonitor.alarm_report` channel-attribution snapshot, and
+alarm edges carry the same snapshot — so ``repro-telemetry tail --kind
+channel_snapshot`` answers *which channel alarmed, at what statistic,
+against what threshold* after the fact.  When a request arrives with a
+``trace_id`` (the fleet front-end assigns deterministic ones), the service
+opens a ``serving.request`` span carrying the trace id, row count,
+shard id, and served sequence — the join key back into the event log.
+
 Scaling out
 -----------
 One service on one thread pool is the single-shard case.  To serve the same

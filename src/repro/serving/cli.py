@@ -40,7 +40,12 @@ from repro.serving.artifacts import (
 )
 from repro.serving.monitor import FairnessMonitor
 from repro.serving.service import PredictionService
-from repro.telemetry import enable as enable_telemetry, write_metrics
+from repro.telemetry import (
+    enable as enable_telemetry,
+    get_event_log,
+    write_events,
+    write_metrics,
+)
 
 
 def parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
@@ -163,6 +168,9 @@ def cmd_score(args) -> int:
 def cmd_serve(args) -> int:
     if args.metrics_out:
         enable_telemetry()
+    events = get_event_log()
+    if args.events_out:
+        events.enable()
     loaded = load_artifact(args.artifact)
     monitor = FairnessMonitor(
         window_size=args.window, profile=find_profile(loaded)
@@ -183,9 +191,31 @@ def cmd_serve(args) -> int:
     index = np.tile(np.arange(deploy.n_samples), repeats)[:rows]
     X, y_true, group = deploy.X[index], deploy.y[index], deploy.group[index]
 
+    previous_alarmed: List[str] = []
     for start in range(0, rows, args.request_size):
         block = slice(start, min(start + args.request_size, rows))
         service.predict(X[block], group[block], y_true=y_true[block])
+        if events.enabled:
+            # Flight-recorder edge detection: whenever the alarmed-channel
+            # set changes, log the edge and the full channel attribution at
+            # the monitor's latest sequence stamp.
+            report = monitor.alarm_report()
+            if report["alarmed"] != previous_alarmed:
+                sequence = int(report["last_sequence"])
+                events.emit(
+                    "alarm_edge",
+                    sequence=sequence,
+                    raised=[c for c in report["alarmed"] if c not in previous_alarmed],
+                    cleared=[c for c in previous_alarmed if c not in report["alarmed"]],
+                    channels=list(report["alarmed"]),
+                )
+                events.emit(
+                    "channel_snapshot",
+                    sequence=sequence,
+                    trigger="alarm_edge",
+                    report=report,
+                )
+                previous_alarmed = list(report["alarmed"])
 
     summary = monitor.windowed_summary()
     payload: Dict[str, object] = {
@@ -204,6 +234,8 @@ def cmd_serve(args) -> int:
             pass
     if args.metrics_out:
         payload["metrics_out"] = write_metrics(args.metrics_out)
+    if args.events_out:
+        payload["events_out"] = write_events(args.events_out)
     emit_json(payload)
     return 0
 
@@ -288,6 +320,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="enable telemetry and write its JSON dump (summary + mergeable "
         "state) to PATH after serving",
+    )
+    serve.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="enable the flight recorder and write its event-log dump "
+        "(request events, alarm edges, channel attributions) to PATH",
     )
     serve.set_defaults(func=cmd_serve)
     return parser

@@ -61,7 +61,7 @@ from repro.exceptions import ArtifactError, ReproError, ValidationError
 from repro.serving.artifacts import find_profile, load_artifact, save_artifact
 from repro.serving.monitor import FairnessMonitor, MonitorThresholds
 from repro.serving.service import PredictionService, ServiceStats
-from repro.telemetry import MetricsRegistry, get_registry
+from repro.telemetry import MetricsRegistry, get_event_log, get_registry
 
 MITIGATION_SCHEMA_VERSION = 1
 """Bumped whenever the persisted audit-trail layout changes incompatibly."""
@@ -454,6 +454,11 @@ class MitigationController:
         return self.service.monitor
 
     @property
+    def events(self):
+        """The primary service's flight recorder (swapped on promotion)."""
+        return self.service.events
+
+    @property
     def shadow_service(self) -> Optional[PredictionService]:
         """The candidate being shadow-scored, if any."""
         return self._shadow
@@ -523,6 +528,29 @@ class MitigationController:
             self._m_transitions[event].inc()
             with self.telemetry.span("mitigation.transition", event=event, step=self._step):
                 pass
+        events = getattr(self.service, "events", None)
+        events = events if events is not None else get_event_log()
+        if events.enabled:
+            # Transition details stay JSON scalars (the audit-trail contract);
+            # the full per-channel attribution rides a channel_snapshot event
+            # at the same sequence stamp, so the trail and the flight recorder
+            # correlate exactly.
+            sequence = int(self.monitor.last_sequence)
+            events.emit(
+                "mitigation_transition",
+                sequence=sequence,
+                event=event,
+                step=self._step,
+                n_seen=int(self.monitor.n_seen),
+                details=dict(details),
+            )
+            events.emit(
+                "channel_snapshot",
+                sequence=sequence,
+                trigger=f"mitigation:{event}",
+                step=self._step,
+                report=self.monitor.alarm_report(),
+            )
 
     def _windowed_health(self, monitor: FairnessMonitor):
         """(di_star, balanced_accuracy) of a monitor's window, where computable."""

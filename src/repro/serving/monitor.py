@@ -368,8 +368,8 @@ class FairnessMonitor(BaseEstimator):
         self.group_tolerance = thresholds.group_tolerance
 
     # ----------------------------------------------------------- updating
-    def update(self, y_pred, group=None, *, y_true=None, X=None, sequence=None) -> None:
-        """Fold one served batch into the window.
+    def update(self, y_pred, group=None, *, y_true=None, X=None, sequence=None) -> int:
+        """Fold one served batch into the window; returns the batch's sequence.
 
         Parameters
         ----------
@@ -397,6 +397,13 @@ class FairnessMonitor(BaseEstimator):
             across shards stamps each dispatched batch with the stream-wide
             sequence instead, which is what lets :meth:`merge` reconstruct
             the union window in arrival order.
+
+        Returns
+        -------
+        int
+            The sequence stamp this batch was folded in under (the assigned
+            value when ``sequence`` was ``None``) — what event-log emitters
+            key their ``request`` events by.
         """
         counts = (
             StreamCounts.from_batch(y_pred, group, y_true)
@@ -430,6 +437,7 @@ class FairnessMonitor(BaseEstimator):
         self._log_density_rows += density_scored
         self.n_seen += size
         self._evict()
+        return sequence
 
     def _evict(self) -> None:
         while self._window_rows > self.window_size and len(self._chunks) > 1:
@@ -685,6 +693,100 @@ class FairnessMonitor(BaseEstimator):
         shift = abs(fraction - baseline)
         alarm = n >= self.min_samples and shift > self.group_tolerance
         return GroupShiftStatus(n, fraction, baseline, shift, alarm)
+
+    @property
+    def last_sequence(self) -> int:
+        """Highest sequence stamp folded into this monitor (-1 before any)."""
+        return self._next_sequence - 1
+
+    def alarm_report(self) -> Dict[str, Any]:
+        """One attribution snapshot explaining the monitor's current alarms.
+
+        Per active channel (``conformance`` when a profile is attached,
+        ``density`` when a density estimator is, ``group`` when a group
+        baseline is fixed): the windowed statistic, its baseline, the exact
+        alarm threshold the status predicate compares against, the margin by
+        which the statistic clears it (positive = alarming, assuming
+        ``min_samples`` is met), the alarm verdict, and the scored count.
+        Statistic/baseline/threshold values match :meth:`drift_status` /
+        :meth:`density_status` / :meth:`group_status` exactly — the report is
+        computed from the same status objects, not re-derived.
+
+        Also carries the windowed sequence range (which stream positions the
+        verdict was computed over — the join keys into the event log and the
+        trace view), per-group windowed counts and selection rates, and the
+        list of currently alarming channel names.  Every value is a JSON
+        scalar or a flat dict of them, so the report rides event-log records
+        and mitigation audit trails verbatim.
+        """
+        channels: Dict[str, Dict[str, Any]] = {}
+        if self.profile is not None:
+            drift = self.drift_status()
+            if drift.baseline_violation is None:
+                threshold: Optional[float] = None
+                margin: Optional[float] = None
+            else:
+                threshold = max(
+                    self.drift_factor * drift.baseline_violation, self.min_violation
+                )
+                margin = drift.mean_violation - threshold
+            channels["conformance"] = {
+                "statistic": drift.mean_violation,
+                "baseline": drift.baseline_violation,
+                "threshold": threshold,
+                "margin": margin,
+                "ratio": drift.ratio,
+                "alarm": drift.alarm,
+                "n_scored": drift.n_scored,
+            }
+        if self.density_estimator is not None:
+            density = self.density_status()
+            if density.baseline_log_density is None:
+                threshold = None
+                margin = None
+            else:
+                threshold = density.baseline_log_density - self.density_drop
+                margin = (density.drop or 0.0) - self.density_drop
+            channels["density"] = {
+                "statistic": density.mean_log_density,
+                "baseline": density.baseline_log_density,
+                "threshold": threshold,
+                "margin": margin,
+                "drop": density.drop,
+                "alarm": density.alarm,
+                "n_scored": density.n_scored,
+            }
+        if self._baseline_group_fraction is not None:
+            group = self.group_status()
+            channels["group"] = {
+                "statistic": group.minority_fraction,
+                "baseline": group.baseline_fraction,
+                "threshold": self.group_tolerance,
+                "margin": (group.shift or 0.0) - self.group_tolerance,
+                "shift": group.shift,
+                "alarm": group.alarm,
+                "n_scored": group.n_scored,
+            }
+        sequences = [sequence for *_, sequence in self._chunks]
+        counts = self._window_counts
+        group_rates: Dict[str, Dict[str, Any]] = {}
+        for label, g in (("majority", 0), ("minority", 1)):
+            n = counts.group_n(g)
+            group_rates[label] = {
+                "n": n,
+                "selection_rate": counts.selection_rate(g) if n else None,
+            }
+        return {
+            "n_seen": self.n_seen,
+            "n_window": self._window_rows,
+            "min_samples": self.min_samples,
+            "last_sequence": self.last_sequence,
+            "window_sequence_min": min(sequences) if sequences else None,
+            "window_sequence_max": max(sequences) if sequences else None,
+            "alarmed": [name for name, channel in channels.items() if channel["alarm"]],
+            "channels": channels,
+            "group_rates": group_rates,
+        }
 
     # ------------------------------------------------------------ reports
     @property

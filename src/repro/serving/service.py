@@ -34,6 +34,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Optional
 
@@ -47,7 +48,13 @@ from repro.interventions.base import DeployedModel
 from repro.interventions.pipeline import PipelineResult
 from repro.serving.artifacts import load_artifact
 from repro.serving.monitor import FairnessMonitor
-from repro.telemetry import DEFAULT_SIZE_BUCKETS, MetricsRegistry, get_registry
+from repro.telemetry import (
+    DEFAULT_SIZE_BUCKETS,
+    EventLog,
+    MetricsRegistry,
+    get_event_log,
+    get_registry,
+)
 
 
 @dataclass
@@ -92,6 +99,16 @@ class PredictionService:
         ``serving.queue_wait_seconds`` histograms; when disabled the cost is
         one attribute read per request.  Fleet shards pass private
         registries so per-shard histograms merge without double counting.
+    events:
+        Optional :class:`~repro.telemetry.EventLog` (flight recorder);
+        defaults to the process-wide log.  When enabled, every monitored
+        request emits a ``request`` event keyed by the sequence stamp the
+        monitor folded it under, so shard-local logs merge bit-identically
+        to the union stream.  Fleet shards pass private logs, mirroring the
+        registry discipline.
+    shard_id:
+        Optional shard identity stamped onto ``serving.request`` spans so a
+        stitched fleet trace names which shard served each micro-batch.
     """
 
     def __init__(
@@ -103,6 +120,8 @@ class PredictionService:
         monitor: Optional[FairnessMonitor] = None,
         preprocessor: Optional[PreprocessingPipeline] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+        shard_id: Optional[int] = None,
     ) -> None:
         if isinstance(model, PipelineResult):
             model = model.model
@@ -119,6 +138,8 @@ class PredictionService:
         self.preprocessor = preprocessor
         self.stats = ServiceStats()
         self.telemetry = telemetry if telemetry is not None else get_registry()
+        self.events = events if events is not None else get_event_log()
+        self.shard_id = None if shard_id is None else int(shard_id)
         # Metric handles are resolved once here so the per-request cost when
         # telemetry is enabled is a few lock-guarded integer updates — and a
         # single `enabled` attribute read when it is not.
@@ -158,7 +179,7 @@ class PredictionService:
         """Whether requests must carry group membership (capability-driven)."""
         return self.model.requires_group
 
-    def predict(self, X, group=None, *, y_true=None, sequence=None) -> np.ndarray:
+    def predict(self, X, group=None, *, y_true=None, sequence=None, trace_id=None) -> np.ndarray:
         """Serve one request of ``len(X)`` records and return the predictions.
 
         ``group`` is required only when the model's intervention declared
@@ -169,6 +190,12 @@ class PredictionService:
         position — a :class:`~repro.fleet.FleetService` fanning one stream
         across shards passes it so per-shard monitor windows stay mergeable
         into the union view; standalone callers leave it ``None``.
+        ``trace_id`` (optional) is the fleet-assigned trace identity for this
+        micro-batch: when present (and telemetry is enabled) the request is
+        wrapped in a ``serving.request`` span carrying
+        ``trace_id``/``shard_id``/``sequence``, and the latency observation
+        attaches the trace id as a bucket exemplar, so stitched fleet traces
+        and tail-latency buckets resolve to concrete requests.
 
         Safe to call from multiple threads; raises
         :class:`~repro.exceptions.ValidationError` once the service has been
@@ -193,26 +220,49 @@ class PredictionService:
             if group.shape[0] != X.shape[0]:
                 raise ValidationError("X and group must have the same number of rows")
 
-        start = time.perf_counter()
-        predictions = self._predict_batched(X, group)
-        elapsed = time.perf_counter() - start
+        # The request span only exists for traced calls (fleet dispatch), so
+        # untraced hot paths pay nothing beyond the usual `enabled` read.
+        span_cm = nullcontext(None)
+        if trace_id is not None and self.telemetry.enabled:
+            attributes = {"trace_id": str(trace_id), "rows": int(X.shape[0])}
+            if self.shard_id is not None:
+                attributes["shard_id"] = self.shard_id
+            span_cm = self.telemetry.span("serving.request", **attributes)
+        with span_cm as span_handle:
+            start = time.perf_counter()
+            predictions = self._predict_batched(X, group)
+            elapsed = time.perf_counter() - start
 
-        if self.telemetry.enabled:
-            self._m_requests.inc()
-            self._m_records.inc(int(X.shape[0]))
-            self._m_latency.observe(elapsed)
+            if self.telemetry.enabled:
+                self._m_requests.inc()
+                self._m_records.inc(int(X.shape[0]))
+                self._m_latency.observe(
+                    elapsed, exemplar=None if trace_id is None else str(trace_id)
+                )
 
-        # Stats are read-modify-write and the monitor's sliding window is
-        # not internally synchronized; one lock keeps both exact under
-        # concurrent callers.
-        with self._lock:
-            self.stats.n_requests += 1
-            self.stats.n_records += int(X.shape[0])
-            self.stats.total_seconds += elapsed
-            if self.monitor is not None:
-                # Group-blind requests still feed the monitor: the drift alarm
-                # scores features alone, only the fairness counts need `group`.
-                self.monitor.update(predictions, group, y_true=y_true, X=X, sequence=sequence)
+            # Stats are read-modify-write and the monitor's sliding window is
+            # not internally synchronized; one lock keeps both exact under
+            # concurrent callers.
+            with self._lock:
+                self.stats.n_requests += 1
+                self.stats.n_records += int(X.shape[0])
+                self.stats.total_seconds += elapsed
+                served_sequence = sequence
+                if self.monitor is not None:
+                    # Group-blind requests still feed the monitor: the drift
+                    # alarm scores features alone, only the fairness counts
+                    # need `group`.
+                    served_sequence = self.monitor.update(
+                        predictions, group, y_true=y_true, X=X, sequence=sequence
+                    )
+                if served_sequence is not None and self.events.enabled:
+                    # Keyed by the monitor's sequence stamp — never by trace
+                    # id or wall clock — so shard logs merge bit-identically.
+                    self.events.emit(
+                        "request", sequence=int(served_sequence), rows=int(X.shape[0])
+                    )
+            if span_handle is not None and served_sequence is not None:
+                span_handle.set(sequence=int(served_sequence))
         return predictions
 
     def predict_records(self, numeric, categorical=None, group=None, *, y_true=None) -> np.ndarray:

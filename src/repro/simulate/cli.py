@@ -46,7 +46,12 @@ from repro.simulate.registry import available_scenarios, describe_scenarios, mak
 from repro.simulate.replay import ReplayHarness
 from repro.simulate.stream import TrafficStream
 from repro.simulate.suites import SuiteRunner, available_suites
-from repro.telemetry import enable as enable_telemetry, write_metrics
+from repro.telemetry import (
+    enable as enable_telemetry,
+    get_event_log,
+    write_events,
+    write_metrics,
+)
 
 
 def _prepare(args) -> tuple:
@@ -132,6 +137,8 @@ def cmd_list(args) -> int:
 def cmd_run(args) -> int:
     if args.metrics_out:
         enable_telemetry()
+    if args.events_out:
+        get_event_log().enable()
     artifact, loaded, split = _prepare(args)
     runner = _make_runner(args, loaded, split)
     scenario = make_scenario(args.scenario, **parse_params(args.scenario_param))
@@ -182,6 +189,11 @@ def cmd_run(args) -> int:
     payload["result"] = result.to_dict(include_steps=args.trace)
     if args.metrics_out:
         payload["metrics_out"] = write_metrics(args.metrics_out)
+    if args.events_out:
+        # The default log carries the replay's flight-recorder stream:
+        # request events, alarm edges, channel attributions, and (with
+        # --mitigate) mitigation transitions.
+        payload["events_out"] = write_events(args.events_out)
     emit_json(payload)
     return 0
 
@@ -189,6 +201,8 @@ def cmd_run(args) -> int:
 def cmd_calibrate(args) -> int:
     if args.metrics_out:
         enable_telemetry()
+    if args.events_out:
+        get_event_log().enable()
     artifact, loaded, split = _prepare(args)
     runner = _make_runner(args, loaded, split)
     calibration = runner.calibrate(
@@ -205,6 +219,8 @@ def cmd_calibrate(args) -> int:
     }
     if args.metrics_out:
         payload["metrics_out"] = write_metrics(args.metrics_out)
+    if args.events_out:
+        payload["events_out"] = write_events(args.events_out)
     emit_json(payload)
     return 0
 
@@ -212,6 +228,8 @@ def cmd_calibrate(args) -> int:
 def cmd_suite(args) -> int:
     if args.metrics_out:
         enable_telemetry()
+    if args.events_out:
+        get_event_log().enable()
     artifact, loaded, split = _prepare(args)
     runner = _make_runner(args, loaded, split)
     results = runner.run(
@@ -232,6 +250,8 @@ def cmd_suite(args) -> int:
     }
     if args.metrics_out:
         payload["metrics_out"] = write_metrics(args.metrics_out)
+    if args.events_out:
+        payload["events_out"] = write_events(args.events_out)
     emit_json(payload)
     return 0
 
@@ -326,6 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="enable telemetry and write its JSON dump (summary + "
             "mergeable state, incl. replay spans) to PATH after the replay",
+        )
+        p.add_argument(
+            "--events-out",
+            default=None,
+            metavar="PATH",
+            help="enable the flight recorder and write its event-log dump "
+            "(request events, alarm edges, channel attributions) to PATH",
         )
 
     run = sub.add_parser("run", help="replay one scenario and score the monitor")

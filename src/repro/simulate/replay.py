@@ -41,6 +41,7 @@ from repro.exceptions import SimulationError
 from repro.serving.mitigation import summarize_transitions
 from repro.serving.service import PredictionService
 from repro.simulate.stream import TrafficStream
+from repro.telemetry import get_event_log as _get_event_log
 from repro.telemetry import get_registry as _get_telemetry_registry
 
 
@@ -203,6 +204,15 @@ class ReplayHarness:
         :class:`ReplayResult`, so sharded-vs-single bit-identity is
         unaffected by enabling it.
 
+        When the flight recorder is enabled, every *alarm edge* — a step
+        whose alarmed-channel set differs from the previous step's — emits
+        an ``alarm_edge`` event plus a ``channel_snapshot`` carrying the
+        monitor's full :meth:`~repro.serving.FairnessMonitor.alarm_report`
+        attribution, both keyed by the merged monitor's latest sequence
+        stamp.  Edges are detected here, where the merged (fleet-level)
+        monitor is observed, so a sharded replay records the same edges as
+        the single-service run.
+
         ``recovery_tolerance`` sets the recovery band: the stream has
         *recovered* at the earliest post-drift step from which the rest of
         the stream is alarm-free with every windowed DI* observation within
@@ -210,6 +220,8 @@ class ReplayHarness:
         """
         telemetry = getattr(self.service, "telemetry", None)
         telemetry = telemetry if telemetry is not None else _get_telemetry_registry()
+        events = getattr(self.service, "events", None)
+        events = events if events is not None else _get_event_log()
         # A MitigationController exposes its transition log; a plain
         # service does not (duck-typed so fleet services keep working).
         transitions = getattr(self.service, "transitions", None)
@@ -220,6 +232,7 @@ class ReplayHarness:
 
         steps: List[StepRecord] = []
         channel_first_alarm: Dict[str, int] = {}
+        previous_channels: Tuple[str, ...] = ()
         with telemetry.span(
             "replay.scenario",
             scenario=label if label is not None else type(stream.scenario).__name__,
@@ -233,9 +246,32 @@ class ReplayHarness:
                     stream.observe(batch, predictions)
                     channels = self._alarm_channels()
                     step_span.set(channels=list(channels))
-                events: Tuple[str, ...] = ()
+                if channels != previous_channels and events.enabled:
+                    # Edge detection happens here — the one place the merged
+                    # (fleet-level) monitor is observed — keyed by its latest
+                    # sequence stamp, so sharded and single-service replays
+                    # record identical forensics.
+                    monitor = self.monitor
+                    sequence = int(monitor.last_sequence)
+                    events.emit(
+                        "alarm_edge",
+                        sequence=sequence,
+                        step=batch.step,
+                        raised=[c for c in channels if c not in previous_channels],
+                        cleared=[c for c in previous_channels if c not in channels],
+                        channels=list(channels),
+                    )
+                    events.emit(
+                        "channel_snapshot",
+                        sequence=sequence,
+                        trigger="alarm_edge",
+                        step=batch.step,
+                        report=monitor.alarm_report(),
+                    )
+                previous_channels = channels
+                mitigation_events: Tuple[str, ...] = ()
                 if transitions is not None:
-                    events = tuple(
+                    mitigation_events = tuple(
                         record.event for record in transitions[transitions_seen:]
                     )
                     transitions_seen = len(transitions)
@@ -250,7 +286,7 @@ class ReplayHarness:
                         alarm=bool(channels),
                         channels=channels,
                         di_star=self.monitor.windowed_summary().get("di_star"),
-                        mitigation=events,
+                        mitigation=mitigation_events,
                     )
                 )
         elapsed = time.perf_counter() - start

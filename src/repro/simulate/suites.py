@@ -320,11 +320,17 @@ class SuiteRunner:
         # Imported lazily: repro.fleet's replay helpers import this module.
         from repro.fleet.service import FleetService
         from repro.fleet.workers import InlineShardWorker
-        from repro.telemetry import MetricsRegistry, telemetry_enabled
+        from repro.telemetry import (
+            EventLog,
+            MetricsRegistry,
+            events_enabled,
+            telemetry_enabled,
+        )
 
-        # Each inline shard records into its own registry (inheriting the
-        # process-wide enabled flag): per-shard latency histograms then
-        # merge into the fleet view without double counting.
+        # Each inline shard records into its own registry and event log
+        # (inheriting the process-wide enabled flags): per-shard latency
+        # histograms and request events then merge into the fleet view
+        # without double counting.
         workers = [
             InlineShardWorker(
                 PredictionService(
@@ -333,6 +339,8 @@ class SuiteRunner:
                     max_workers=self.max_workers,
                     monitor=self._baseline_monitor(),
                     telemetry=MetricsRegistry(enabled=telemetry_enabled()),
+                    events=EventLog(enabled=events_enabled()),
+                    shard_id=shard_id,
                 ),
                 shard_id=shard_id,
             )

@@ -38,11 +38,40 @@ The ``repro-serve serve``, ``repro-fleet serve|replay``, and
 telemetry and write a JSON dump (summary + mergeable state); the
 ``repro-telemetry`` CLI summarizes and diffs those dumps.
 
+The flight recorder
+-------------------
+Metrics aggregate; the **event log** (:mod:`repro.telemetry.events`)
+remembers.  :class:`EventLog` records typed, sequence-stamped events —
+served requests, alarm edges, :meth:`FairnessMonitor.alarm_report`
+channel snapshots, mitigation transitions, worker lifecycle — and merges
+shard-local logs bit-identically to the union-stream log, keyed by the
+same sequence stamps the monitors merge on.  Traces stitch onto it:
+:class:`~repro.fleet.FleetService` assigns a deterministic trace id per
+dispatched micro-batch, worker-side request spans carry
+``trace_id``/``shard_id``/``sequence``, and latency histograms attach
+per-bucket **exemplars** (sample trace ids), so a tail-latency bucket or
+an alarm edge resolves to concrete requests::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    telemetry.get_event_log().enable()
+    ...                                        # serve / replay traffic
+    log = telemetry.get_event_log()
+    print(log.tail(5))                         # last events, canonical order
+    print([r for r in log.records(kind="alarm_edge")])
+
+Every replay/serving CLI takes ``--events-out PATH`` to enable the event
+log and dump it as JSON, and ``repro-telemetry tail|trace`` inspect those
+dumps (``trace`` joins spans to events by sequence stamp).
+
 Thread safety: one registry lock guards all metric state (the PR 6
 discipline); spans keep per-thread stacks, so concurrent callers trace
 independently.  Determinism: counters and histogram merges are exact
 integer arithmetic; wall-clock values never feed replay verdicts
-(``compare_sharded_replay`` stays bit-identical with telemetry enabled).
+(``compare_sharded_replay`` stays bit-identical with telemetry enabled),
+and event records carry neither timestamps nor trace ids, so sharded
+event logs merge bit-identically too.
 """
 
 from __future__ import annotations
@@ -51,6 +80,7 @@ import json as _json
 from pathlib import Path as _Path
 from typing import Any, Dict, Optional
 
+from repro.telemetry.events import EVENT_KINDS, EVENT_LOG_SCHEMA_VERSION, EventLog
 from repro.telemetry.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -65,6 +95,9 @@ __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "EVENT_KINDS",
+    "EVENT_LOG_SCHEMA_VERSION",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -72,12 +105,15 @@ __all__ = [
     "disable",
     "dump",
     "enable",
+    "events_enabled",
     "export",
     "export_prometheus",
+    "get_event_log",
     "get_registry",
     "reset",
     "span",
     "telemetry_enabled",
+    "write_events",
     "write_metrics",
 ]
 
@@ -85,6 +121,45 @@ __all__ = [
 #: handed a private registry (fleet shards get their own to keep merges
 #: double-count-free).
 _DEFAULT_REGISTRY = MetricsRegistry()
+
+#: The process-wide default event log, following the same private-vs-default
+#: discipline as the registry: inline fleet shards get private logs so the
+#: fleet merge never double-counts an event.
+_DEFAULT_EVENT_LOG = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-wide default :class:`EventLog`."""
+
+    return _DEFAULT_EVENT_LOG
+
+
+def events_enabled() -> bool:
+    """Whether the default event log is currently recording."""
+
+    return _DEFAULT_EVENT_LOG.enabled
+
+
+def write_events(path, payload: Optional[Dict[str, Any]] = None) -> str:
+    """Write an event-log dump to ``path`` as deterministic JSON.
+
+    ``payload`` defaults to ``{"events_version": 1, "state": ...}`` for the
+    default log; the fleet CLI passes
+    :meth:`~repro.fleet.FleetService.events_report` instead.  Returns the
+    written path (what ``--events-out`` handlers report).
+    """
+
+    target = _Path(path)
+    if payload is None:
+        payload = {
+            "events_version": EVENT_LOG_SCHEMA_VERSION,
+            "state": _DEFAULT_EVENT_LOG.state_dict(),
+        }
+    target.write_text(
+        _json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return str(target)
 
 
 def get_registry() -> MetricsRegistry:

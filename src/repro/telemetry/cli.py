@@ -1,10 +1,13 @@
 """Command-line front end for telemetry dumps.
 
-Two subcommands::
+Four subcommands::
 
     repro-telemetry summary --input metrics.json
     repro-telemetry summary --input fleet-metrics.json --section shard:0 --prometheus
     repro-telemetry diff    --before warmup.json --after loaded.json
+    repro-telemetry tail    --input events.json --kind alarm_edge
+    repro-telemetry trace   --events events.json --metrics metrics.json \\
+                            --trace-id fleet-000017
 
 ``summary`` re-summarizes the **mergeable state** inside a ``--metrics-out``
 dump — counters, gauges, and histogram quantiles — either as JSON (the
@@ -13,7 +16,16 @@ exposition with ``--prometheus``.  ``diff`` subtracts one dump from another
 **exactly**: counters and histogram bucket counts are integers, so the delta
 between two dumps of the same process is precisely what happened in between.
 
-Both commands accept plain dumps (written by ``repro-serve serve`` /
+``tail`` reads a ``--events-out`` flight-recorder dump and prints the last N
+events in canonical ``(sequence, kind, index)`` order, optionally filtered
+by kind — ``tail --kind channel_snapshot`` is the alarm-forensics view.
+``trace`` stitches the two dump families: it gathers the spans matching a
+``--trace-id`` (or an explicit ``--sequence``) from a ``--metrics-out``
+dump — frontend and shard sections alike — and joins the event-log records
+that share those sequence stamps, resolving one fleet micro-batch into its
+dispatch span, worker-side request span, and every event it triggered.
+
+All commands accept plain dumps (written by ``repro-serve serve`` /
 ``repro-simulate run|suite`` / ``repro-fleet replay``) and fleet dumps
 (written by ``repro-fleet serve``, which carry ``frontend`` / ``shards`` /
 ``merged`` sections); pick a fleet section with ``--section``.
@@ -30,6 +42,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.exceptions import ReproError, TelemetryError
+from repro.telemetry.events import EventLog
 from repro.telemetry.metrics import MetricsRegistry
 
 
@@ -80,6 +93,61 @@ def _select_state(dump: Dict[str, Any], section: str, path: str) -> Dict[str, An
     raise TelemetryError(
         f"unknown --section {section!r}; use auto, merged, frontend, or shard:<id>"
     )
+
+
+def _select_event_state(dump: Dict[str, Any], section: str, path: str) -> Dict[str, Any]:
+    """Pull one event-log ``state`` out of a plain or fleet ``--events-out`` dump."""
+    if section == "auto":
+        if "state" in dump:
+            return dump["state"]
+        if "merged" in dump:
+            return dump["merged"]["state"]
+        raise TelemetryError(
+            f"event dump {path!r} has neither 'state' nor 'merged' — "
+            f"not an --events-out file?"
+        )
+    if section in ("merged", "frontend"):
+        block = dump.get(section)
+        if not isinstance(block, dict) or "state" not in block:
+            raise TelemetryError(
+                f"event dump {path!r} has no {section!r} section "
+                f"(only fleet dumps carry one)"
+            )
+        return block["state"]
+    if section.startswith("shard:"):
+        shard_id = section[len("shard:"):]
+        for shard in dump.get("shards", []):
+            if str(shard.get("shard_id")) == shard_id:
+                state = shard.get("state")
+                if state is None:
+                    raise TelemetryError(
+                        f"shard {shard_id} in {path!r} reported no event state"
+                    )
+                return state
+        raise TelemetryError(f"event dump {path!r} has no shard {shard_id!r}")
+    raise TelemetryError(
+        f"unknown --section {section!r}; use auto, merged, frontend, or shard:<id>"
+    )
+
+
+def _collect_spans(dump: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Every span in a plain or fleet ``--metrics-out`` dump, source-tagged."""
+    spans: List[Dict[str, Any]] = []
+
+    def tag(records, source) -> None:
+        for record in records or []:
+            if isinstance(record, dict):
+                spans.append({**record, "source": source})
+
+    if "export" in dump:  # plain dump: MetricsRegistry.dump()
+        tag(dump["export"].get("spans"), "process")
+    frontend = dump.get("frontend")
+    if isinstance(frontend, dict):
+        tag(frontend.get("export", {}).get("spans"), "frontend")
+    for shard in dump.get("shards", []):
+        if isinstance(shard, dict):
+            tag(shard.get("spans"), f"shard:{shard.get('shard_id')}")
+    return spans
 
 
 def _emit(payload: Dict[str, Any]) -> None:
@@ -193,6 +261,72 @@ def cmd_diff(args) -> int:
     return 0
 
 
+def cmd_tail(args) -> int:
+    dump = _load_dump(args.input)
+    state = _select_event_state(dump, args.section, args.input)
+    log = EventLog(max_events=max(len(state.get("records", [])), 1)).load_state_dict(state)
+    records = log.tail(args.last, kind=args.kind)
+    _emit(
+        {
+            "input": args.input,
+            "section": args.section,
+            "events_version": dump.get("events_version"),
+            "n_emitted": log.n_emitted,
+            "evicted_through": log.evicted_through,
+            "n_shown": len(records),
+            "events": records,
+        }
+    )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.trace_id is None and args.sequence is None:
+        raise TelemetryError("trace needs --trace-id and/or --sequence to anchor the join")
+    spans: List[Dict[str, Any]] = []
+    if args.metrics is not None:
+        for span in _collect_spans(_load_dump(args.metrics)):
+            attributes = span.get("attributes") or {}
+            if args.trace_id is not None and attributes.get("trace_id") != args.trace_id:
+                continue
+            if (
+                args.sequence is not None
+                and args.trace_id is None
+                and attributes.get("sequence") != args.sequence
+            ):
+                continue
+            spans.append(span)
+    # The join key: sequences named on the matched spans, plus any given
+    # explicitly.  Event records never carry trace ids (they must merge
+    # bit-identically across shardings), so the sequence stamp is the bridge.
+    sequences = {
+        int(span["attributes"]["sequence"])
+        for span in spans
+        if isinstance(span.get("attributes"), dict) and "sequence" in span["attributes"]
+    }
+    if args.sequence is not None:
+        sequences.add(int(args.sequence))
+    events: List[Dict[str, Any]] = []
+    if args.events is not None:
+        dump = _load_dump(args.events)
+        state = _select_event_state(dump, args.section, args.events)
+        log = EventLog(max_events=max(len(state.get("records", [])), 1)).load_state_dict(
+            state
+        )
+        events = [record for record in log.records() if record["sequence"] in sequences]
+    _emit(
+        {
+            "trace_id": args.trace_id,
+            "sequences": sorted(sequences),
+            "n_spans": len(spans),
+            "n_events": len(events),
+            "spans": spans,
+            "events": events,
+        }
+    )
+    return 0
+
+
 # ------------------------------------------------------------------ parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -229,6 +363,50 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--after", required=True, help="later --metrics-out JSON file")
     add_section_option(diff)
     diff.set_defaults(func=cmd_diff)
+
+    tail = sub.add_parser(
+        "tail", help="last N flight-recorder events from an --events-out dump"
+    )
+    tail.add_argument("--input", required=True, help="an --events-out JSON file")
+    add_section_option(tail)
+    tail.add_argument(
+        "-n",
+        "--last",
+        type=int,
+        default=20,
+        metavar="N",
+        help="events to show (default 20)",
+    )
+    tail.add_argument(
+        "--kind",
+        default=None,
+        help="only events of this kind (request, alarm_edge, channel_snapshot, "
+        "mitigation_transition, worker_lifecycle)",
+    )
+    tail.set_defaults(func=cmd_tail)
+
+    trace = sub.add_parser(
+        "trace",
+        help="stitch one trace: spans from a --metrics-out dump joined to "
+        "events by sequence stamp",
+    )
+    trace.add_argument(
+        "--events", default=None, help="an --events-out JSON file (the event side)"
+    )
+    trace.add_argument(
+        "--metrics", default=None, help="a --metrics-out JSON file (the span side)"
+    )
+    trace.add_argument(
+        "--trace-id", default=None, help="trace id to follow (e.g. fleet-000017)"
+    )
+    trace.add_argument(
+        "--sequence",
+        type=int,
+        default=None,
+        help="sequence stamp to join on (alternative or additional anchor)",
+    )
+    add_section_option(trace)
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -128,7 +128,7 @@ class Histogram:
 
     __slots__ = (
         "name", "_lock", "_uppers", "_scaled_uppers", "_resolution",
-        "_counts", "_sum_scaled", "_min_scaled", "_max_scaled",
+        "_counts", "_sum_scaled", "_min_scaled", "_max_scaled", "_exemplars",
     )
 
     def __init__(
@@ -156,10 +156,14 @@ class Histogram:
         self._sum_scaled = 0
         self._min_scaled: Optional[int] = None
         self._max_scaled: Optional[int] = None
+        # Per-bucket exemplars (last trace id + value per bucket).  They are
+        # diagnostics riding exports only — never part of state_dict(), so
+        # the exact-merge contract is untouched.
+        self._exemplars: Dict[int, Dict[str, Any]] = {}
 
     # -- recording ---------------------------------------------------------
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, *, exemplar: Optional[str] = None) -> None:
         scaled = int(round(float(value) / self._resolution))
         index = bisect_left(self._scaled_uppers, scaled)
         with self._lock:
@@ -169,6 +173,11 @@ class Histogram:
                 self._min_scaled = scaled
             if self._max_scaled is None or scaled > self._max_scaled:
                 self._max_scaled = scaled
+            if exemplar is not None:
+                self._exemplars[index] = {
+                    "trace_id": str(exemplar),
+                    "value": scaled * self._resolution,
+                }
 
     # -- reading -----------------------------------------------------------
 
@@ -295,6 +304,7 @@ class Histogram:
             sum_scaled = self._sum_scaled
             min_scaled = self._min_scaled
             max_scaled = self._max_scaled
+            exemplars = {index: dict(e) for index, e in self._exemplars.items()}
         total = sum(counts)
         quantiles: Dict[str, Optional[float]] = {}
         observed_max = None if max_scaled is None else max_scaled * self._resolution
@@ -313,10 +323,16 @@ class Histogram:
             quantiles[label] = value
         cumulative = 0
         buckets: List[Dict[str, Any]] = []
-        for upper, bucket_count in zip(self._uppers, counts):
+        for index, (upper, bucket_count) in enumerate(zip(self._uppers, counts)):
             cumulative += bucket_count
-            buckets.append({"le": upper, "count": cumulative})
-        buckets.append({"le": "+Inf", "count": total})
+            bucket: Dict[str, Any] = {"le": upper, "count": cumulative}
+            if index in exemplars:
+                bucket["exemplar"] = exemplars[index]
+            buckets.append(bucket)
+        overflow: Dict[str, Any] = {"le": "+Inf", "count": total}
+        if len(self._uppers) in exemplars:
+            overflow["exemplar"] = exemplars[len(self._uppers)]
+        buckets.append(overflow)
         return {
             "count": total,
             "sum": sum_scaled * self._resolution,
@@ -344,6 +360,8 @@ class MetricsRegistry:
     """
 
     def __init__(self, *, enabled: bool = False, max_spans: int = 4096) -> None:
+        if int(max_spans) < 1:
+            raise TelemetryError("max_spans must be at least 1")
         self._lock = threading.RLock()
         self._enabled = bool(enabled)
         self._counters: Dict[str, Counter] = {}
@@ -351,8 +369,16 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._collectors: List[Callable[["MetricsRegistry"], None]] = []
         self._spans: deque = deque(maxlen=int(max_spans))
+        self._spans_dropped = 0
         self._span_ids = itertools.count(1)
         self._span_local = threading.local()
+
+    @property
+    def max_spans(self) -> int:
+        """Capacity of the finished-span buffer (oldest records beyond it
+        are dropped and counted into the ``span.dropped`` counter)."""
+
+        return int(self._spans.maxlen or 0)
 
     # -- enablement --------------------------------------------------------
 
@@ -466,28 +492,61 @@ class MetricsRegistry:
 
     def _finish_span(self, handle: SpanHandle, duration: float, *, ok: bool) -> None:
         stack = self._span_stack()
+        status = "ok" if ok else "error"
         if stack and stack[-1] is handle:
             stack.pop()
-        elif handle in stack:  # exited out of order; drop it wherever it sits
-            stack.remove(handle)
+        else:
+            # Exited out of order (or on a thread that never started it):
+            # broken instrumentation must be observable, not invisible.
+            if handle in stack:
+                stack.remove(handle)
+            status = "misnested"
+            self.counter("span.misnested").inc()
         record = {
             "name": handle.name,
             "span_id": handle.span_id,
             "parent_id": handle.parent_id,
             "start_time": handle.start_time,
             "duration_seconds": duration,
-            "status": "ok" if ok else "error",
+            "status": status,
             "attributes": dict(handle.attributes),
         }
         with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self._spans_dropped += 1
             self._spans.append(record)
         self.histogram(f"span.{handle.name}.seconds").observe(duration)
 
-    def trace(self) -> List[Dict[str, Any]]:
-        """Finished spans, oldest first (bounded buffer)."""
+    def _publish_span_drops(self) -> None:
+        """Fold the running drop count into the ``span.dropped`` counter.
+
+        Called on every export path so the counter rides the mergeable
+        state without touching the span hot path with an extra counter
+        increment per finished span."""
 
         with self._lock:
-            return [dict(record) for record in self._spans]
+            dropped = self._spans_dropped
+        if dropped:
+            counter = self.counter("span.dropped")
+            delta = dropped - counter.value
+            if delta > 0:
+                counter.inc(delta)
+
+    def trace(self, *, trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Finished spans, oldest first (bounded buffer).
+
+        With ``trace_id`` only spans whose attributes carry that trace id
+        are returned — the per-request view the fleet stitches."""
+
+        with self._lock:
+            records = [dict(record) for record in self._spans]
+        if trace_id is None:
+            return records
+        return [
+            record
+            for record in records
+            if record["attributes"].get("trace_id") == trace_id
+        ]
 
     # -- state -------------------------------------------------------------
 
@@ -495,6 +554,7 @@ class MetricsRegistry:
         """Mergeable snapshot of all metrics (collectors run first)."""
 
         self._run_collectors()
+        self._publish_span_drops()
         with self._lock:
             return {
                 "counters": {name: c.value for name, c in sorted(self._counters.items())},
@@ -568,6 +628,7 @@ class MetricsRegistry:
         """JSON-able summary of every metric (and, optionally, the trace)."""
 
         self._run_collectors()
+        self._publish_span_drops()
         with self._lock:
             payload: Dict[str, Any] = {
                 "enabled": self._enabled,
@@ -585,6 +646,7 @@ class MetricsRegistry:
         """Prometheus text exposition (metrics only; spans are JSON-only)."""
 
         self._run_collectors()
+        self._publish_span_drops()
         lines: List[str] = []
         with self._lock:
             counters = sorted(self._counters.items())
@@ -643,6 +705,7 @@ class MetricsRegistry:
             if clear_collectors:
                 self._collectors = []
             self._spans.clear()
+            self._spans_dropped = 0
             self._span_ids = itertools.count(1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety

@@ -19,6 +19,9 @@ from repro.interventions import FairnessPipeline
 from repro.serving import PredictionService
 from repro.serving.cli import find_profile
 from repro.simulate import SuiteRunner, make_scenario
+from repro.simulate.replay import ReplayHarness
+from repro.simulate.stream import TrafficStream
+from repro.telemetry import get_event_log
 
 SPLIT = split_dataset(
     make_drifted_groups(
@@ -124,3 +127,72 @@ class TestShardedReplayEquivalence:
         assert payload["matches"] is True
         assert payload["shards"] == 2
         assert payload["single"]["n_steps"] == payload["fleet"]["n_steps"] == 6
+
+
+class TestFlightRecorderEquivalence:
+    """The event-log acceptance criterion: sharding is invisible to forensics."""
+
+    def _stream(self):
+        return TrafficStream(
+            SPLIT.deploy,
+            make_scenario("group_shift"),
+            n_steps=24,
+            batch_size=90,
+            random_state=33,
+        )
+
+    def test_eight_shard_event_log_merges_bit_identically(self, runner):
+        """8-shard drift replay: merged event log == single-service event log.
+
+        Request events land in shard-private logs, alarm edges and channel
+        snapshots in the frontend log (the merged monitor is only observed
+        there); ``events_report()`` folds them back into exactly the stream
+        one process would have recorded.
+        """
+        log = get_event_log()
+        saved = log.enabled
+        log.reset().enable()
+        try:
+            fleet = runner.make_service(shards=8)
+            with fleet:
+                fleet_result = ReplayHarness(fleet).replay(
+                    self._stream(), label="group_shift"
+                )
+                # Snapshotted inside the `with`: shard logs die with the fleet.
+                fleet_state = fleet.events_report()["merged"]["state"]
+
+            log.reset()
+            single_result = ReplayHarness(runner.make_service()).replay(
+                self._stream(), label="group_shift"
+            )
+            single_state = log.state_dict()
+        finally:
+            log.reset()
+            log.enabled = saved
+
+        # A meaningful replay: the drift fired and forensics recorded it.
+        assert fleet_result.detected and single_result.detected
+        kinds = {record["kind"] for record in single_state["records"]}
+        assert {"request", "alarm_edge", "channel_snapshot"} <= kinds
+        assert fleet_state["records"] == single_state["records"]
+        assert fleet_state["n_emitted"] == single_state["n_emitted"]
+        assert fleet_state["evicted_through"] is None
+
+    def test_channel_snapshot_attributes_the_drifted_channel(self, runner):
+        log = get_event_log()
+        saved = log.enabled
+        log.reset().enable()
+        try:
+            ReplayHarness(runner.make_service()).replay(
+                self._stream(), label="group_shift"
+            )
+            snapshots = log.records(kind="channel_snapshot")
+        finally:
+            log.reset()
+            log.enabled = saved
+        assert snapshots
+        report = snapshots[0]["attributes"]["report"]
+        assert "group" in report["alarmed"]
+        channel = report["channels"]["group"]
+        assert channel["alarm"] is True
+        assert channel["statistic"] is not None and channel["threshold"] is not None
